@@ -1,0 +1,105 @@
+// Experiment E15 (derived; Section 6 open direction "load and availability
+// of RQS"): expected best-case latency as a function of the independent
+// failure probability p, and the load price of fast quorums. This
+// quantifies the paper's qualitative claim that refined quorums buy speed
+// exactly when failures are rare.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+void latency_curve(const std::string& label, const RefinedQuorumSystem& sys) {
+  std::string curve;
+  for (const double p : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+    const ExpectedLatency e = expected_latency(sys, p);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "p=%.2f:%.2f/%.2f ", p, e.storage_rounds,
+                  e.consensus_delays);
+    curve += buf;
+  }
+  rqs::bench::print_row(label, curve);
+}
+
+void print_tables() {
+  rqs::bench::print_header(
+      "E15: expected best-case latency vs failure probability "
+      "(storage rounds / consensus delays)",
+      "graded systems approach 1 round / 2 delays as p -> 0; flat systems "
+      "stay at their class");
+  latency_curve("fig1-fast5 (n=5, t=2, crash)", make_fig1_fast5());
+  latency_curve("3t+1 (t=1, n=4)", make_3t1_instantiation(1));
+  latency_curve("3t+1 (t=2, n=7)", make_3t1_instantiation(2));
+  latency_curve("graded n=7 k=1 t=2 r=1 q=0", make_graded_threshold(7, 1, 2, 1, 0));
+  latency_curve("masking n=5 k=1 (class 2 flat)", make_masking(5, 1, 1));
+  latency_curve("disseminating n=5 k=1 (class 3 flat)",
+                make_disseminating(5, 1, 1));
+
+  rqs::bench::print_header(
+      "E15b: availability per class (p = 0.1)",
+      "class 1 needs more processes alive than class 2/3");
+  for (const auto& [label, sys] :
+       std::vector<std::pair<std::string, RefinedQuorumSystem>>{
+           {"fig1-fast5", make_fig1_fast5()},
+           {"3t+1 (t=1)", make_3t1_instantiation(1)},
+           {"example7", make_example7()}}) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "class1=%.4f class2=%.4f any=%.4f",
+                  availability(sys, 0.1, QuorumClass::Class1),
+                  availability(sys, 0.1, QuorumClass::Class2),
+                  availability(sys, 0.1, QuorumClass::Class3));
+    rqs::bench::print_row(label, buf);
+  }
+
+  rqs::bench::print_header(
+      "E15c: the load price of fast quorums",
+      "uniform strategy over class-1-only vs all quorums; lower bound "
+      "max(1/c, c/n)");
+  for (const auto& [label, sys] :
+       std::vector<std::pair<std::string, RefinedQuorumSystem>>{
+           {"fig1-fast5", make_fig1_fast5()},
+           {"3t+1 (t=1)", make_3t1_instantiation(1)},
+           {"crash majorities n=5", make_crash_majority(5)}}) {
+    char buf[160];
+    const double fast = load_of(sys, uniform_strategy(sys, QuorumClass::Class1));
+    std::snprintf(buf, sizeof(buf),
+                  "load(class1)=%.3f load(all)=%.3f balanced=%.3f lb=%.3f",
+                  fast, load_of(sys, uniform_strategy(sys)),
+                  load_of(sys, balanced_strategy(sys)),
+                  load_lower_bound(sys));
+    rqs::bench::print_row(label, buf);
+  }
+}
+
+void BM_Availability(benchmark::State& state) {
+  const RefinedQuorumSystem sys =
+      make_3t1_instantiation(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(availability(sys, 0.1));
+  }
+}
+BENCHMARK(BM_Availability)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ExpectedLatency(benchmark::State& state) {
+  const RefinedQuorumSystem sys = make_3t1_instantiation(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_latency(sys, 0.1).storage_rounds);
+  }
+}
+BENCHMARK(BM_ExpectedLatency);
+
+void BM_BalancedStrategy(benchmark::State& state) {
+  const RefinedQuorumSystem sys = make_fig1_fast5();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(load_of(sys, balanced_strategy(sys, 200)));
+  }
+}
+BENCHMARK(BM_BalancedStrategy);
+
+}  // namespace
+}  // namespace rqs
+
+RQS_BENCH_MAIN(rqs::print_tables)

@@ -1,0 +1,72 @@
+// Experiment E12 (Section 6 open question): "how many RQS can be found
+// given some adversary structure". Exhaustive counts for tiny universes:
+// quorum collections satisfying Property 1, and valid (QC1, QC2)
+// classifications of fixed quorum lists.
+#include "bench/bench_util.hpp"
+#include "core/classification.hpp"
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+void print_tables() {
+  rqs::bench::print_header(
+      "E12: enumeration for the Section 6 open question",
+      "counts of P1 quorum collections / valid classifications (exhaustive "
+      "for tiny S)");
+  for (std::size_t n = 2; n <= 5; ++n) {
+    const std::uint64_t crash =
+        count_p1_collections(n, Adversary::threshold(n, 0), 3);
+    rqs::bench::print_row(
+        "P1 collections (<=3 quorums), n=" + std::to_string(n) + ", crash",
+        std::to_string(crash));
+  }
+  for (std::size_t n = 3; n <= 5; ++n) {
+    const std::uint64_t byz =
+        count_p1_collections(n, Adversary::threshold(n, 1), 3);
+    rqs::bench::print_row(
+        "P1 collections (<=3 quorums), n=" + std::to_string(n) + ", B_1",
+        std::to_string(byz));
+  }
+  {
+    const std::vector<ProcessSet> ex7 = {ProcessSet{1, 3, 4, 5},
+                                         ProcessSet{0, 1, 2, 3, 4},
+                                         ProcessSet{0, 1, 2, 3, 5}};
+    const Adversary adv{6, {ProcessSet{0, 1}, ProcessSet{2, 3}, ProcessSet{1, 3}}};
+    rqs::bench::print_row("valid classifications of Example 7's quorums",
+                          std::to_string(count_classifications(ex7, adv)));
+  }
+  {
+    const std::vector<ProcessSet> fig3 = {
+        ProcessSet{4, 5, 6, 7}, ProcessSet{0, 1, 2, 3, 6, 7},
+        ProcessSet{0, 1, 2, 4, 5}, ProcessSet{2, 3, 4, 5, 6}};
+    rqs::bench::print_row(
+        "valid classifications of Fig. 3's quorums",
+        std::to_string(count_classifications(fig3, Adversary::threshold(8, 1))));
+  }
+}
+
+void BM_CountP1Collections(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Adversary adv = Adversary::threshold(n, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_p1_collections(n, adv, 3));
+  }
+}
+BENCHMARK(BM_CountP1Collections)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_CountClassifications(benchmark::State& state) {
+  const std::vector<ProcessSet> fig3 = {
+      ProcessSet{4, 5, 6, 7}, ProcessSet{0, 1, 2, 3, 6, 7},
+      ProcessSet{0, 1, 2, 4, 5}, ProcessSet{2, 3, 4, 5, 6}};
+  const Adversary adv = Adversary::threshold(8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_classifications(fig3, adv));
+  }
+}
+BENCHMARK(BM_CountClassifications);
+
+}  // namespace
+}  // namespace rqs
+
+RQS_BENCH_MAIN(rqs::print_tables)

@@ -1,0 +1,80 @@
+// Experiment E3/E9 tooling performance: verifying the three RQS properties
+// on the paper's example systems (Fig. 3, Example 7) and on threshold
+// families of growing size — analytic threshold checks vs brute-force
+// general-adversary enumeration.
+#include "bench/bench_util.hpp"
+#include "core/classification.hpp"
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+void print_tables() {
+  rqs::bench::print_header(
+      "E3: Fig. 3 and Example 7 verification",
+      "both are valid RQS; Fig. 3's Q' (6 elements) is only class 3; "
+      "Example 7 fails the conference-version P3 but passes the corrected "
+      "one");
+  rqs::bench::print_row("fig3 example valid",
+                        make_fig3_example().valid() ? "yes" : "NO");
+  rqs::bench::print_row("example7 valid",
+                        make_example7().valid() ? "yes" : "NO");
+  rqs::bench::print_row(
+      "example7 conference-version P3",
+      make_example7().check_property3_conference() ? "holds (unexpected!)"
+                                                   : "fails (as corrected)");
+  const ClassificationResult fig3 = classify(
+      {ProcessSet{4, 5, 6, 7}, ProcessSet{0, 1, 2, 3, 6, 7},
+       ProcessSet{0, 1, 2, 4, 5}, ProcessSet{2, 3, 4, 5, 6}},
+      Adversary::threshold(8, 1));
+  rqs::bench::print_row(
+      "fig3 best classification (|QC1|, |QC2|)",
+      "(" + std::to_string(fig3.class1_count) + ", " +
+          std::to_string(fig3.class2_count) + ")  claim: (1, 2)");
+}
+
+void BM_CheckFig3(benchmark::State& state) {
+  const RefinedQuorumSystem sys = make_fig3_example();
+  for (auto _ : state) benchmark::DoNotOptimize(sys.check(1).ok());
+}
+BENCHMARK(BM_CheckFig3);
+
+void BM_CheckExample7(benchmark::State& state) {
+  const RefinedQuorumSystem sys = make_example7();
+  for (auto _ : state) benchmark::DoNotOptimize(sys.check(1).ok());
+}
+BENCHMARK(BM_CheckExample7);
+
+void BM_CheckThresholdAnalytic(benchmark::State& state) {
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  const RefinedQuorumSystem sys = make_3t1_instantiation(t);
+  for (auto _ : state) benchmark::DoNotOptimize(sys.check(1).ok());
+  state.counters["quorums"] = static_cast<double>(sys.quorum_count());
+}
+BENCHMARK(BM_CheckThresholdAnalytic)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_CheckThresholdEnumerated(benchmark::State& state) {
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  const RefinedQuorumSystem analytic = make_3t1_instantiation(t);
+  Adversary general{analytic.universe_size(),
+                    analytic.adversary().maximal_elements()};
+  std::vector<Quorum> quorums(analytic.quorums().begin(),
+                              analytic.quorums().end());
+  const RefinedQuorumSystem sys{std::move(general), std::move(quorums)};
+  for (auto _ : state) benchmark::DoNotOptimize(sys.check(1).ok());
+}
+BENCHMARK(BM_CheckThresholdEnumerated)->Arg(1)->Arg(2);
+
+void BM_Classify(benchmark::State& state) {
+  const std::vector<ProcessSet> sets = {
+      ProcessSet{4, 5, 6, 7}, ProcessSet{0, 1, 2, 3, 6, 7},
+      ProcessSet{0, 1, 2, 4, 5}, ProcessSet{2, 3, 4, 5, 6}};
+  const Adversary adv = Adversary::threshold(8, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(classify(sets, adv).class1_count);
+}
+BENCHMARK(BM_Classify);
+
+}  // namespace
+}  // namespace rqs
+
+RQS_BENCH_MAIN(rqs::print_tables)

@@ -1,0 +1,86 @@
+// Experiment E9 (Examples 2-6): the analytic feasibility frontier of the
+// threshold family. For each (k, t, r, q) the minimal |S| making the RQS
+// valid must equal the paper's bound
+//   |S| > t + k + max(t, k + 2q, r + min(k, q)),
+// which subsumes the Lamport bounds |S| > 2t+k and |S| > 2q+t+2k of
+// Example 5 for the case r = q.
+#include "bench/bench_util.hpp"
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+std::size_t minimal_n_explicit(std::size_t k, std::size_t t, std::size_t r,
+                               std::size_t q) {
+  for (std::size_t n = t + 1; n <= 14; ++n) {
+    if (make_graded_threshold(n, k, t, r, q).valid()) return n;
+  }
+  return 0;
+}
+
+std::size_t minimal_n_analytic(std::size_t k, std::size_t t, std::size_t r,
+                               std::size_t q) {
+  return t + k + std::max({t, k + 2 * q, r + std::min(k, q)}) + 1;
+}
+
+void print_tables() {
+  rqs::bench::print_header(
+      "E9: threshold feasibility frontier (Examples 5/6)",
+      "minimal |S| = t + k + max(t, k+2q, r+min(k,q)) + 1; explicit "
+      "enumeration must agree");
+  for (std::size_t k = 0; k <= 2; ++k) {
+    for (std::size_t t = 1; t <= 2; ++t) {
+      for (std::size_t r = 0; r <= t; ++r) {
+        for (std::size_t q = 0; q <= r; ++q) {
+          const std::size_t analytic = minimal_n_analytic(k, t, r, q);
+          const std::size_t explicit_n = minimal_n_explicit(k, t, r, q);
+          const std::string label = "k=" + std::to_string(k) +
+                                    " t=" + std::to_string(t) +
+                                    " r=" + std::to_string(r) +
+                                    " q=" + std::to_string(q);
+          rqs::bench::print_row(
+              label, "min|S| analytic=" + std::to_string(analytic) +
+                         " explicit=" + std::to_string(explicit_n) +
+                         (analytic == explicit_n ? "  OK" : "  MISMATCH"));
+        }
+      }
+    }
+  }
+  rqs::bench::print_header(
+      "E9b: classic instantiations",
+      "crash majority and Byzantine-third systems are valid RQS");
+  rqs::bench::print_row("crash majorities (n=5)",
+                        make_crash_majority(5).valid() ? "valid" : "INVALID");
+  rqs::bench::print_row("Byzantine third (n=7, k=2)",
+                        make_byzantine_third(7).valid() ? "valid" : "INVALID");
+  rqs::bench::print_row("disseminating (n=5,k=1,t=1)",
+                        make_disseminating(5, 1, 1).valid() ? "valid" : "INVALID");
+  rqs::bench::print_row("masking (n=5,k=1,t=1)",
+                        make_masking(5, 1, 1).valid() ? "valid" : "INVALID");
+}
+
+void BM_FrontierSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (std::size_t k = 0; k <= 2; ++k) {
+      for (std::size_t q = 0; q <= 1; ++q) {
+        acc += minimal_n_explicit(k, 1, 1, q);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FrontierSweep);
+
+void BM_MakeThresholdRqs(benchmark::State& state) {
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_3t1_instantiation(t).quorum_count());
+  }
+}
+BENCHMARK(BM_MakeThresholdRqs)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace rqs
+
+RQS_BENCH_MAIN(rqs::print_tables)

@@ -1,0 +1,35 @@
+// Shared helpers for the benchmark binaries: every binary first prints its
+// experiment table (the paper-claim vs measured reproduction rows recorded
+// in EXPERIMENTS.md), then runs its google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace rqs::bench {
+
+inline void print_header(const std::string& experiment, const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+}
+
+inline void print_row(const std::string& label, const std::string& value) {
+  std::printf("  %-58s %s\n", label.c_str(), value.c_str());
+}
+
+}  // namespace rqs::bench
+
+/// Standard main: table first, then benchmarks.
+#define RQS_BENCH_MAIN(print_tables_fn)                       \
+  int main(int argc, char** argv) {                           \
+    print_tables_fn();                                        \
+    benchmark::Initialize(&argc, argv);                       \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                               \
+    }                                                         \
+    benchmark::RunSpecifiedBenchmarks();                      \
+    benchmark::Shutdown();                                    \
+    return 0;                                                 \
+  }

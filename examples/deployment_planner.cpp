@@ -1,0 +1,83 @@
+// Deployment planner: given a fleet size, a Byzantine budget and an
+// expected per-server failure probability, compare candidate refined
+// quorum systems on the axes a deployment actually cares about —
+// expected best-case latency, availability, and load — and recommend one.
+//
+//   $ ./deployment_planner
+//
+// Demonstrates how the analysis module (availability / expected latency /
+// Naor-Wool load) turns the paper's latency ladder into capacity planning.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/constructions.hpp"
+
+using namespace rqs;
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  RefinedQuorumSystem system;
+};
+
+void evaluate(const std::vector<Candidate>& candidates, double p) {
+  std::printf("\nper-server failure probability p = %.2f\n", p);
+  std::printf("  %-34s %8s %8s %10s %8s %8s\n", "system", "E[wr]", "E[learn]",
+              "P[avail]", "load", "load-lb");
+  double best_score = 1e9;
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates) {
+    const ExpectedLatency e = expected_latency(c.system, p);
+    const double avail = availability(c.system, p);
+    const double load = load_of(c.system, balanced_strategy(c.system, 500));
+    std::printf("  %-34s %8.2f %8.2f %9.4f%% %8.3f %8.3f\n", c.name.c_str(),
+                e.storage_rounds, e.consensus_delays, 100.0 * avail, load,
+                load_lower_bound(c.system));
+    // Simple score: latency dominated, availability as a hard-ish filter.
+    const double score = e.storage_rounds + 100.0 * (1.0 - avail) + load;
+    if (score < best_score) {
+      best_score = score;
+      best = &c;
+    }
+  }
+  if (best != nullptr) {
+    std::printf("  -> recommended: %s\n", best->name.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RQS deployment planner\n");
+  std::printf("fleet of 7 servers, Byzantine budget k = 1\n");
+
+  std::vector<Candidate> candidates;
+  candidates.push_back({"graded t=2 r=1 q=0 (full RQS)",
+                        make_graded_threshold(7, 1, 2, 1, 0)});
+  candidates.push_back({"fast-only q=r=0 (FastPaxos-like)",
+                        make_fast_threshold(7, 1, 2, 0)});
+  candidates.push_back({"masking t=2 (no fast path)", make_masking(7, 1, 2)});
+  candidates.push_back({"disseminating t=2 (plain quorums)",
+                        make_disseminating(7, 1, 2)});
+
+  for (const Candidate& c : candidates) {
+    if (!c.system.valid()) {
+      std::printf("  %s: INVALID configuration\n", c.name.c_str());
+    }
+  }
+
+  for (const double p : {0.01, 0.05, 0.15}) evaluate(candidates, p);
+
+  std::printf(
+      "\nReading the table: E[wr] is the expected best-case write rounds\n"
+      "(1 with a class 1 quorum alive, 2 with class 2, 3 otherwise);\n"
+      "E[learn] the consensus delays; load is the busiest server's access\n"
+      "probability under a balanced strategy. Graded systems win when\n"
+      "failures are rare; conservative systems never get the fast rounds\n"
+      "but their load and availability are identical at the quorum level —\n"
+      "the refinement is free resilience-wise, exactly the paper's point.\n");
+  return 0;
+}

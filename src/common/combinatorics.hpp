@@ -1,0 +1,77 @@
+// Subset enumeration helpers used by the RQS property checkers, the
+// construction validators and the exhaustive RQS enumeration of small
+// systems (the open question of Section 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/process_set.hpp"
+
+namespace rqs {
+
+/// Calls `fn(subset)` for every subset of `base` of exactly `k` elements.
+/// `fn` may return void, or bool where returning false stops enumeration
+/// early (and makes this function return false).
+template <typename Fn>
+bool for_each_subset_of_size(ProcessSet base, std::size_t k, Fn&& fn) {
+  const std::vector<ProcessId> elems = base.members();
+  if (k > elems.size()) return true;
+  // Classic combination enumeration over the member vector.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    ProcessSet subset;
+    for (std::size_t i : idx) subset.insert(elems[i]);
+    if constexpr (std::is_void_v<decltype(fn(subset))>) {
+      fn(subset);
+    } else {
+      if (!fn(subset)) return false;
+    }
+    // Advance the combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + elems.size() - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return true;
+    }
+    if (k == 0) return true;
+  }
+}
+
+/// Calls `fn(subset)` for every subset of `base` (including the empty set
+/// and base itself). `fn` may return void or bool (false stops early).
+template <typename Fn>
+bool for_each_subset(ProcessSet base, Fn&& fn) {
+  const std::uint64_t b = base.mask();
+  // Enumerate submasks of b, including 0, via the standard trick.
+  std::uint64_t sub = b;
+  while (true) {
+    ProcessSet s = ProcessSet::from_mask(sub);
+    if constexpr (std::is_void_v<decltype(fn(s))>) {
+      fn(s);
+    } else {
+      if (!fn(s)) return false;
+    }
+    if (sub == 0) return true;
+    sub = (sub - 1) & b;
+  }
+}
+
+/// Binomial coefficient C(n, k) without overflow for the small arguments
+/// used in this library (n <= 64).
+[[nodiscard]] constexpr std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+}  // namespace rqs

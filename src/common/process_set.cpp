@@ -1,0 +1,11 @@
+#include "common/process_set.hpp"
+
+#include <ostream>
+
+namespace rqs {
+
+std::ostream& operator<<(std::ostream& os, const ProcessSet& s) {
+  return os << s.to_string();
+}
+
+}  // namespace rqs

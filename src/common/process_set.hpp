@@ -1,0 +1,172 @@
+// ProcessSet: a subset of a universe of at most 64 processes, represented as
+// a bitmask. All of the paper's set algebra (intersection, union, set
+// difference, subset tests) is O(1) on the mask, which keeps the Property
+// 1/2/3 checkers exact and fast. Every worked example in the paper uses
+// 5-8 processes; the library supports up to 64.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rqs {
+
+class ProcessSet {
+ public:
+  /// Maximum universe size supported by the mask representation.
+  static constexpr std::size_t kMaxProcesses = 64;
+
+  constexpr ProcessSet() noexcept = default;
+
+  /// Builds the set {ids...}. Ids must be < kMaxProcesses.
+  constexpr ProcessSet(std::initializer_list<ProcessId> ids) noexcept {
+    for (ProcessId id : ids) insert(id);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  [[nodiscard]] static constexpr ProcessSet universe(std::size_t n) noexcept {
+    assert(n <= kMaxProcesses);
+    ProcessSet s;
+    s.bits_ = (n == kMaxProcesses) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  /// The singleton {id}.
+  [[nodiscard]] static constexpr ProcessSet single(ProcessId id) noexcept {
+    ProcessSet s;
+    s.insert(id);
+    return s;
+  }
+
+  /// Constructs directly from a bitmask (bit i set <=> process i is a member).
+  [[nodiscard]] static constexpr ProcessSet from_mask(std::uint64_t mask) noexcept {
+    ProcessSet s;
+    s.bits_ = mask;
+    return s;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t mask() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return static_cast<std::size_t>(std::popcount(bits_));
+  }
+
+  [[nodiscard]] constexpr bool contains(ProcessId id) const noexcept {
+    assert(id < kMaxProcesses);
+    return (bits_ >> id) & 1u;
+  }
+
+  constexpr void insert(ProcessId id) noexcept {
+    assert(id < kMaxProcesses);
+    bits_ |= (std::uint64_t{1} << id);
+  }
+
+  constexpr void erase(ProcessId id) noexcept {
+    assert(id < kMaxProcesses);
+    bits_ &= ~(std::uint64_t{1} << id);
+  }
+
+  /// Set algebra. `&` intersection, `|` union, `-` set difference.
+  [[nodiscard]] friend constexpr ProcessSet operator&(ProcessSet a, ProcessSet b) noexcept {
+    return from_mask(a.bits_ & b.bits_);
+  }
+  [[nodiscard]] friend constexpr ProcessSet operator|(ProcessSet a, ProcessSet b) noexcept {
+    return from_mask(a.bits_ | b.bits_);
+  }
+  [[nodiscard]] friend constexpr ProcessSet operator-(ProcessSet a, ProcessSet b) noexcept {
+    return from_mask(a.bits_ & ~b.bits_);
+  }
+  constexpr ProcessSet& operator&=(ProcessSet o) noexcept { bits_ &= o.bits_; return *this; }
+  constexpr ProcessSet& operator|=(ProcessSet o) noexcept { bits_ |= o.bits_; return *this; }
+  constexpr ProcessSet& operator-=(ProcessSet o) noexcept { bits_ &= ~o.bits_; return *this; }
+
+  /// True iff *this is a subset of `other` (not necessarily proper).
+  [[nodiscard]] constexpr bool subset_of(ProcessSet other) const noexcept {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  /// True iff *this is a proper subset of `other`.
+  [[nodiscard]] constexpr bool proper_subset_of(ProcessSet other) const noexcept {
+    return subset_of(other) && bits_ != other.bits_;
+  }
+  [[nodiscard]] constexpr bool intersects(ProcessSet other) const noexcept {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  /// Complement within the universe {0..n-1} (the paper's X-bar).
+  [[nodiscard]] constexpr ProcessSet complement(std::size_t n) const noexcept {
+    return universe(n) - *this;
+  }
+
+  /// The smallest member, or kInvalidProcess if empty.
+  [[nodiscard]] constexpr ProcessId first() const noexcept {
+    if (bits_ == 0) return kInvalidProcess;
+    return static_cast<ProcessId>(std::countr_zero(bits_));
+  }
+
+  friend constexpr bool operator==(ProcessSet, ProcessSet) noexcept = default;
+  /// Total order on masks; makes ProcessSet usable as a map/set key.
+  friend constexpr bool operator<(ProcessSet a, ProcessSet b) noexcept {
+    return a.bits_ < b.bits_;
+  }
+
+  /// Iteration over members in increasing id order.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = ProcessId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const ProcessId*;
+    using reference = ProcessId;
+
+    constexpr iterator() noexcept = default;
+    constexpr explicit iterator(std::uint64_t bits) noexcept : bits_(bits) {}
+    constexpr ProcessId operator*() const noexcept {
+      return static_cast<ProcessId>(std::countr_zero(bits_));
+    }
+    constexpr iterator& operator++() noexcept {
+      bits_ &= bits_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    friend constexpr bool operator==(iterator, iterator) noexcept = default;
+
+   private:
+    std::uint64_t bits_{0};
+  };
+
+  [[nodiscard]] constexpr iterator begin() const noexcept { return iterator{bits_}; }
+  [[nodiscard]] constexpr iterator end() const noexcept { return iterator{0}; }
+
+  /// Members as a vector, in increasing id order.
+  [[nodiscard]] std::vector<ProcessId> members() const {
+    std::vector<ProcessId> out;
+    out.reserve(size());
+    for (ProcessId id : *this) out.push_back(id);
+    return out;
+  }
+
+  /// Renders as "{0,2,5}".
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "{";
+    bool first_member = true;
+    for (ProcessId id : *this) {
+      if (!first_member) out += ",";
+      out += std::to_string(id);
+      first_member = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::uint64_t bits_{0};
+};
+
+std::ostream& operator<<(std::ostream& os, const ProcessSet& s);
+
+}  // namespace rqs

@@ -1,0 +1,34 @@
+// Deterministic random number generation. Every randomized scenario in the
+// simulator and benches is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace rqs {
+
+/// Thin wrapper around a 64-bit Mersenne twister with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool chance(double p) { return uniform01() < p; }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rqs

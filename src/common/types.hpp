@@ -1,0 +1,67 @@
+// Fundamental vocabulary types shared by every module of the RQS library.
+//
+// The paper ("Refined Quorum Systems", Guerraoui & Vukolic) reasons about a
+// finite set S of processes, timestamp/value pairs written to a storage, and
+// view numbers in consensus. These are small value types with strong typing
+// so that, e.g., a view number cannot be confused with a timestamp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rqs {
+
+/// Identifier of a process (server, acceptor, client, proposer, learner...).
+/// Processes participating in a quorum system are numbered 0..n-1; client
+/// processes use ids >= kFirstClientId by convention of the simulator.
+using ProcessId = std::uint32_t;
+
+inline constexpr ProcessId kInvalidProcess = std::numeric_limits<ProcessId>::max();
+
+/// Logical write timestamp (the writer's monotonically increasing counter).
+/// Timestamp 0 is reserved for the initial pair <0, bottom>.
+using Timestamp = std::uint64_t;
+
+/// Consensus view number. View 0 is the paper's `initView`.
+using ViewNumber = std::uint64_t;
+
+/// Round number inside a storage operation (1, 2 or 3) or a storage history
+/// "slot" index; the paper indexes history[ts, rnd] with rnd in {1,2,3}.
+using RoundNumber = std::uint32_t;
+
+/// Values stored / proposed. The paper's domain D extended with bottom.
+/// We use a sentinel for bottom so a Value is trivially copyable; the public
+/// API exposes is_bottom() helpers instead of the raw sentinel.
+using Value = std::int64_t;
+
+/// The initial value of the storage ("bottom", not in D).
+inline constexpr Value kBottom = std::numeric_limits<Value>::min();
+
+/// True iff v is the reserved bottom value.
+[[nodiscard]] constexpr bool is_bottom(Value v) noexcept { return v == kBottom; }
+
+/// Renders a value, printing bottom as the conventional symbol.
+[[nodiscard]] inline std::string value_to_string(Value v) {
+  return is_bottom(v) ? std::string{"_|_"} : std::to_string(v);
+}
+
+/// A timestamp/value pair as manipulated by the storage protocol
+/// (the paper's c = <c.ts, c.val>).
+struct TsValue {
+  Timestamp ts{0};
+  Value val{kBottom};
+
+  friend bool operator==(const TsValue&, const TsValue&) = default;
+  /// Ordering by timestamp first; used when selecting the highest candidate.
+  friend auto operator<=>(const TsValue&, const TsValue&) = default;
+};
+
+/// The initial pair stored in every history slot: <0, bottom>.
+inline constexpr TsValue kInitialPair{0, kBottom};
+
+[[nodiscard]] inline std::string to_string(const TsValue& c) {
+  return "<" + std::to_string(c.ts) + "," + value_to_string(c.val) + ">";
+}
+
+}  // namespace rqs

@@ -1,0 +1,327 @@
+#include "consensus/acceptor.hpp"
+
+#include <algorithm>
+
+namespace rqs::consensus {
+
+RqsAcceptor::RqsAcceptor(sim::Simulation& sim, ProcessId id,
+                         const ConsensusConfig& config)
+    : sim::Process(sim, id),
+      config_(config),
+      signer_(*config.authority, id),
+      tracker_(*config.rqs),
+      suspect_timeout_(5 * sim.delta()) {}
+
+void RqsAcceptor::on_message(ProcessId from, const sim::Message& m) {
+  if (const auto* prep = sim::msg_cast<PrepareMsg>(m)) {
+    // Election, Fig. 14 line 0: the first prepare of the initial view
+    // arms the suspicion timer.
+    if (prep->view == 0) arm_suspect_timer();
+    handle_prepare(from, *prep);
+    return;
+  }
+  if (const auto* up = sim::msg_cast<UpdateMsg>(m)) {
+    handle_update(from, *up);
+    // Decision rules (lines 51-53) apply to acceptors too.
+    if (const auto v = tracker_.feed(from, *up)) on_decided(*v);
+    return;
+  }
+  if (const auto* nv = sim::msg_cast<NewViewMsg>(m)) {
+    handle_new_view(from, *nv);
+    return;
+  }
+  if (const auto* sr = sim::msg_cast<SignReqMsg>(m)) {
+    handle_sign_req(from, *sr);
+    return;
+  }
+  if (const auto* sa = sim::msg_cast<SignAckMsg>(m)) {
+    handle_sign_ack(from, *sa);
+    return;
+  }
+  if (sim::msg_cast<SyncMsg>(m) != nullptr) {
+    arm_suspect_timer();  // Fig. 14 line 0
+    return;
+  }
+  if (const auto* dec = sim::msg_cast<DecisionMsg>(m)) {
+    // Fig. 14 line 8: a quorum of decision messages stops the timer.
+    ProcessSet& senders = decision_senders_[dec->value];
+    if (config_.acceptors.contains(from)) senders.insert(from);
+    for (const Quorum& q : config_.rqs->quorums()) {
+      if (q.set.subset_of(senders)) {
+        suspect_stopped_ = true;
+        if (suspect_armed_) cancel_timer(suspect_timer_);
+        break;
+      }
+    }
+    return;
+  }
+  if (sim::msg_cast<DecisionPullMsg>(m) != nullptr) {
+    // Fig. 15 line 40.
+    if (tracker_.decided()) {
+      auto reply = std::make_shared<DecisionMsg>();
+      reply->value = tracker_.decision();
+      send_all(config_.acceptors | ProcessSet::single(from), std::move(reply));
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locking module.
+// ---------------------------------------------------------------------------
+
+void RqsAcceptor::handle_prepare(ProcessId from, const PrepareMsg& m) {
+  if (m.view != view_) return;
+  // Line 31: (w in Prepview => w < view) — not yet prepared in this view.
+  const bool fresh = std::all_of(prepview_.begin(), prepview_.end(),
+                                 [this](ViewNumber w) { return w < view_; });
+  if (!fresh) return;
+  if (view_ != 0) {
+    if (from != config_.leader_of(view_)) return;
+    if (!vproof_valid(m.vproof, m.vproof_quorum)) return;
+    const ChooseResult chosen =
+        choose(m.value, m.vproof, m.vproof_quorum, *config_.rqs);
+    if (chosen.abort || chosen.value != m.value) return;
+  }
+  // Line 32: prepare v in view.
+  if (prep_ == m.value) {
+    prepview_.insert(view_);
+  } else {
+    prep_ = m.value;
+    prepview_ = {view_};
+  }
+  // Line 33: echo with update1.
+  send_update(1, m.value, view_, kInvalidQuorum);
+}
+
+void RqsAcceptor::handle_update(ProcessId from, const UpdateMsg& m) {
+  if (m.step != 1 && m.step != 2) return;  // acceptors consume update1/2
+  if (!config_.acceptors.contains(from)) return;
+  if (m.view != view_) return;
+  // Guard of lines 34-38: v = Prep and view in Prepview.
+  if (m.value != prep_ || prepview_.find(view_) == prepview_.end()) return;
+
+  ProcessSet& senders = update_senders_[{m.step, m.view, m.value}];
+  senders.insert(from);
+
+  // "received from some quorum Q": act on every quorum newly covered.
+  for (QuorumId qid = 0; qid < config_.rqs->quorum_count(); ++qid) {
+    if (!config_.rqs->quorum_set(qid).subset_of(senders)) continue;
+    const RoundNumber step = m.step;
+    // Lines 34-35.
+    if (update_[step] == m.value) {
+      updateview_[step].insert(view_);
+    } else {
+      update_[step] = m.value;
+      updateview_[step] = {view_};
+      for (auto it = updateq_.begin(); it != updateq_.end();) {
+        it = (it->first.first == step) ? updateq_.erase(it) : std::next(it);
+      }
+      for (auto it = updateproof_.begin(); it != updateproof_.end();) {
+        it = (it->first.first == step) ? updateproof_.erase(it) : std::next(it);
+      }
+    }
+    // Lines 36-38.
+    std::set<QuorumId>& known = updateq_[{step, view_}];
+    const bool fresh_quorum =
+        (step == 1 && known.find(qid) == known.end()) ||
+        (step == 2 && known.empty());
+    if (fresh_quorum) {
+      known.insert(qid);
+      send_update(step + 1, m.value, view_, qid);
+    }
+  }
+}
+
+void RqsAcceptor::send_update(RoundNumber step, Value v, ViewNumber view,
+                              QuorumId quorum) {
+  for (const ProcessId target : config_.acceptors_and_learners()) {
+    auto msg = std::make_shared<UpdateMsg>();
+    msg->step = step;
+    msg->value = update_value_for(v, target, step);
+    msg->view = view;
+    msg->quorum = quorum;
+    send(target, std::move(msg));
+  }
+  old_.insert(SignedUpdate::payload(v, view, step));
+}
+
+void RqsAcceptor::handle_new_view(ProcessId from, const NewViewMsg& m) {
+  // Line 21: view must advance, the sender must lead it, proof must match.
+  if (m.view <= view_) return;
+  if (from != config_.leader_of(m.view)) return;
+  if (!view_proof_valid(m.view_proof, m.view)) return;
+  view_ = m.view;  // line 22
+
+  // Lines 23-27: gather missing Updateproof signature sets.
+  PendingAck pending;
+  pending.proposer = from;
+  pending.view = m.view;
+  for (RoundNumber step = 1; step <= 2; ++step) {
+    for (const ViewNumber w : updateview_[step]) {
+      const StepView key{step, w};
+      if (!updateproof_[key].empty()) continue;
+      pending.needed.insert(key);
+      sign_collect_[key].clear();
+      // Line 24: ask a quorum that performed the update.
+      const auto qit = updateq_.find(key);
+      ProcessSet targets = config_.acceptors;
+      if (qit != updateq_.end() && !qit->second.empty()) {
+        targets = config_.rqs->quorum_set(*qit->second.begin());
+      }
+      auto req = std::make_shared<SignReqMsg>();
+      req->value = update_[step];
+      req->view = w;
+      req->step = step;
+      send_all(targets, std::move(req));
+    }
+  }
+  pending_ack_ = std::move(pending);
+  try_complete_pending_ack();
+}
+
+void RqsAcceptor::handle_sign_req(ProcessId from, const SignReqMsg& m) {
+  // Line 29: only sign update messages this acceptor really sent.
+  const std::string payload = SignedUpdate::payload(m.value, m.view, m.step);
+  if (old_.find(payload) == old_.end()) return;
+  auto ack = std::make_shared<SignAckMsg>();
+  ack->update.value = m.value;
+  ack->update.view = m.view;
+  ack->update.step = m.step;
+  ack->update.signer = id();
+  ack->update.signature = signer_.sign(payload);
+  send(from, std::move(ack));
+}
+
+void RqsAcceptor::handle_sign_ack(ProcessId from, const SignAckMsg& m) {
+  if (!pending_ack_) return;
+  const StepView key{m.update.step, m.update.view};
+  if (pending_ack_->needed.find(key) == pending_ack_->needed.end()) return;
+  // The signature must verify and must match this acceptor's update value.
+  if (m.update.signer != from) return;
+  if (update_[m.update.step] != m.update.value) return;
+  if (!config_.authority->verify(m.update.signature, from, m.update.payload())) {
+    return;
+  }
+  sign_collect_[key][from] = m.update;
+  try_complete_pending_ack();
+}
+
+void RqsAcceptor::try_complete_pending_ack() {
+  if (!pending_ack_) return;
+  // Line 26: every needed (step, w) requires signatures from a basic
+  // subset T (not in B).
+  for (auto it = pending_ack_->needed.begin(); it != pending_ack_->needed.end();) {
+    const StepView key = *it;
+    ProcessSet signers;
+    for (const auto& [a, su] : sign_collect_[key]) signers.insert(a);
+    if (config_.rqs->adversary().is_basic(signers)) {
+      auto& proof = updateproof_[key];  // line 27
+      proof.clear();
+      for (const auto& [a, su] : sign_collect_[key]) proof.push_back(su);
+      it = pending_ack_->needed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!pending_ack_->needed.empty()) return;
+
+  // Line 28: send the signed new_view_ack.
+  NewViewAckData data;
+  data.view = view_;
+  data.prep = prep_;
+  data.prepview = prepview_;
+  data.update = update_;
+  data.updateview = updateview_;
+  data.updateproof = updateproof_;
+  data.updateq = updateq_;
+  data = ack_to_send(data);
+
+  auto ack = std::make_shared<NewViewAckMsg>();
+  ack->data = data;
+  ack->signer = id();
+  ack->signature = signer_.sign(data.payload());
+  send(pending_ack_->proposer, std::move(ack));
+  pending_ack_.reset();
+}
+
+bool RqsAcceptor::vproof_valid(const VProof& vproof, ProcessSet q) const {
+  // Every member of Q must have a signature-valid ack with valid
+  // Updateproof sets. (Acceptors re-validate what the proposer validated:
+  // a Byzantine proposer may ship garbage.)
+  if (!config_.rqs->find(q).has_value()) return false;
+  for (const ProcessId a : q) {
+    const auto it = vproof.find(a);
+    if (it == vproof.end()) return false;
+    if (!ack_signatures_valid(it->second)) return false;
+  }
+  return true;
+}
+
+bool RqsAcceptor::ack_signatures_valid(const NewViewAckData& ack) const {
+  for (RoundNumber step = 1; step <= 2; ++step) {
+    for (const ViewNumber w : ack.updateview[step]) {
+      const auto it = ack.updateproof.find(StepView{step, w});
+      if (it == ack.updateproof.end()) return false;
+      ProcessSet signers;
+      for (const SignedUpdate& su : it->second) {
+        if (su.value != ack.update[step] || su.view != w || su.step != step) {
+          return false;
+        }
+        if (!config_.authority->verify(su.signature, su.signer, su.payload())) {
+          return false;
+        }
+        signers.insert(su.signer);
+      }
+      if (!config_.rqs->adversary().is_basic(signers)) return false;
+    }
+  }
+  return true;
+}
+
+bool RqsAcceptor::view_proof_valid(const std::vector<SignedViewChange>& proof,
+                                   ViewNumber view) const {
+  ProcessSet signers;
+  for (const SignedViewChange& vc : proof) {
+    if (vc.next_view != view) continue;
+    if (!config_.authority->verify(vc.signature, vc.signer, vc.payload())) continue;
+    if (config_.acceptors.contains(vc.signer)) signers.insert(vc.signer);
+  }
+  for (const Quorum& q : config_.rqs->quorums()) {
+    if (q.set.subset_of(signers)) return true;
+  }
+  return false;
+}
+
+void RqsAcceptor::on_decided(Value v) {
+  // Election, Fig. 14 line 7: help others stop their timers.
+  auto msg = std::make_shared<DecisionMsg>();
+  msg->value = v;
+  send_all(config_.acceptors, std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Election module.
+// ---------------------------------------------------------------------------
+
+void RqsAcceptor::arm_suspect_timer() {
+  if (suspect_armed_ || suspect_stopped_) return;
+  suspect_armed_ = true;
+  suspect_timer_ = set_timer(suspect_timeout_);
+}
+
+void RqsAcceptor::on_timer(sim::TimerId timer) {
+  if (timer != suspect_timer_ || suspect_stopped_) return;
+  // Fig. 14 lines 1-5: exponential backoff, vote for the next leader.
+  suspect_timeout_ *= 2;
+  ++next_view_;
+  const ProcessId next_leader = config_.leader_of(next_view_);
+  auto msg = std::make_shared<ViewChangeMsg>();
+  msg->change.next_view = next_view_;
+  msg->change.signer = id();
+  msg->change.signature = signer_.sign(SignedViewChange::payload(next_view_));
+  send(next_leader, std::move(msg));
+  suspect_timer_ = set_timer(suspect_timeout_);
+}
+
+}  // namespace rqs::consensus

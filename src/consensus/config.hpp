@@ -1,0 +1,35 @@
+// Shared configuration of a consensus deployment: role sets, the refined
+// quorum system over the acceptors, and the signature authority.
+#pragma once
+
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "core/rqs.hpp"
+#include "sim/signature.hpp"
+#include "sim/simulation.hpp"
+
+namespace rqs::consensus {
+
+/// Conventional process ids (all < ProcessSet::kMaxProcesses so that
+/// network scripting can address every role through ProcessSet rules).
+/// Acceptors use ids 0..n-1 (matching RQS element indices).
+inline constexpr ProcessId kFirstProposerId = 30;
+inline constexpr ProcessId kFirstLearnerId = 45;
+
+struct ConsensusConfig {
+  const RefinedQuorumSystem* rqs{nullptr};
+  ProcessSet acceptors;
+  std::vector<ProcessId> proposers;  // leader(view) = proposers[view % size]
+  ProcessSet learners;
+  sim::SignatureAuthority* authority{nullptr};
+
+  [[nodiscard]] ProcessId leader_of(ViewNumber view) const {
+    return proposers[static_cast<std::size_t>(view % proposers.size())];
+  }
+  [[nodiscard]] ProcessSet acceptors_and_learners() const {
+    return acceptors | learners;
+  }
+};
+
+}  // namespace rqs::consensus

@@ -1,0 +1,111 @@
+// Baseline: classic single-decree Paxos over majority quorums, tolerating
+// a minority of crash failures (no Byzantine processes).
+//
+// The reference point for the latency comparison: Paxos needs two phases
+// (prepare/promise then accept/accepted) before learners hear of a chosen
+// value — four message delays from the proposal, under *crash-only*
+// faults. The RQS consensus reaches two delays with a class 1 quorum while
+// additionally tolerating Byzantine acceptors, and its init-view fast path
+// subsumes Paxos' phase-2-only optimization.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "sim/process.hpp"
+
+namespace rqs::consensus {
+
+/// Ballot number; globally ordered, disambiguated by proposer id.
+struct Ballot {
+  std::uint64_t round{0};
+  ProcessId proposer{kInvalidProcess};
+
+  friend bool operator==(const Ballot&, const Ballot&) = default;
+  friend auto operator<=>(const Ballot&, const Ballot&) = default;
+};
+
+struct P1aMsg final : sim::Message {
+  Ballot ballot;
+  [[nodiscard]] std::string tag() const override { return "P1A"; }
+};
+struct P1bMsg final : sim::Message {
+  Ballot ballot;                       // the promised ballot
+  std::optional<Ballot> accepted_ballot;
+  Value accepted_value{kBottom};
+  [[nodiscard]] std::string tag() const override { return "P1B"; }
+};
+struct P2aMsg final : sim::Message {
+  Ballot ballot;
+  Value value{kBottom};
+  [[nodiscard]] std::string tag() const override { return "P2A"; }
+};
+struct P2bMsg final : sim::Message {
+  Ballot ballot;
+  Value value{kBottom};
+  [[nodiscard]] std::string tag() const override { return "P2B"; }
+};
+
+class PaxosAcceptor final : public sim::Process {
+ public:
+  PaxosAcceptor(sim::Simulation& sim, ProcessId id, ProcessSet learners)
+      : sim::Process(sim, id), learners_(learners) {}
+
+  void on_message(ProcessId from, const sim::Message& m) override;
+
+ private:
+  ProcessSet learners_;
+  std::optional<Ballot> promised_;
+  std::optional<Ballot> accepted_ballot_;
+  Value accepted_value_{kBottom};
+};
+
+class PaxosProposer final : public sim::Process {
+ public:
+  PaxosProposer(sim::Simulation& sim, ProcessId id, ProcessSet acceptors)
+      : sim::Process(sim, id), acceptors_(acceptors) {}
+
+  /// Starts proposing v; retries with higher ballots (after a timeout) if
+  /// preempted, until some value is chosen.
+  void propose(Value v);
+
+  void on_message(ProcessId from, const sim::Message& m) override;
+  void on_timer(sim::TimerId timer) override;
+
+ private:
+  void start_round();
+  [[nodiscard]] std::size_t majority() const { return acceptors_.size() / 2 + 1; }
+
+  ProcessSet acceptors_;
+  Value value_{kBottom};
+  Ballot ballot_;
+  enum class Phase { kIdle, kPhase1, kPhase2 } phase_{Phase::kIdle};
+  ProcessSet responders_;
+  std::optional<Ballot> best_accepted_;
+  Value best_value_{kBottom};
+  sim::TimerId retry_timer_{0};
+};
+
+class PaxosLearner final : public sim::Process {
+ public:
+  PaxosLearner(sim::Simulation& sim, ProcessId id, std::size_t acceptor_count)
+      : sim::Process(sim, id), acceptor_count_(acceptor_count) {}
+
+  [[nodiscard]] bool learned() const noexcept { return learned_; }
+  [[nodiscard]] Value learned_value() const noexcept { return value_; }
+  [[nodiscard]] sim::SimTime learn_time() const noexcept { return learn_time_; }
+
+  void on_message(ProcessId from, const sim::Message& m) override;
+
+ private:
+  std::size_t acceptor_count_;
+  std::map<std::pair<std::uint64_t, ProcessId>, ProcessSet> accepted_;
+  bool learned_{false};
+  Value value_{kBottom};
+  sim::SimTime learn_time_{0};
+};
+
+}  // namespace rqs::consensus

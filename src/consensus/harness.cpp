@@ -1,0 +1,89 @@
+#include "consensus/harness.hpp"
+
+namespace rqs::consensus {
+
+ConsensusCluster::ConsensusCluster(RefinedQuorumSystem rqs,
+                                   std::size_t proposer_count,
+                                   std::size_t learner_count,
+                                   ProcessSet byzantine_acceptors,
+                                   Value fake_value, bool byzantine_proposer,
+                                   sim::SimTime delta,
+                                   ProcessSet amnesiac_acceptors,
+                                   ProcessSet prep_liar_acceptors)
+    : sim_(delta), rqs_(std::move(rqs)) {
+  config_.rqs = &rqs_;
+  config_.authority = &authority_;
+  config_.acceptors = ProcessSet::universe(rqs_.universe_size());
+  for (std::size_t i = 0; i < proposer_count; ++i) {
+    config_.proposers.push_back(kFirstProposerId + static_cast<ProcessId>(i));
+  }
+  for (std::size_t i = 0; i < learner_count; ++i) {
+    config_.learners.insert(kFirstLearnerId + static_cast<ProcessId>(i));
+  }
+  for (ProcessId id = 0; id < rqs_.universe_size(); ++id) {
+    if (amnesiac_acceptors.contains(id)) {
+      acceptors_.push_back(std::make_unique<AmnesiacAcceptor>(sim_, id, config_));
+    } else if (prep_liar_acceptors.contains(id)) {
+      acceptors_.push_back(
+          std::make_unique<PrepLiarAcceptor>(sim_, id, config_, fake_value));
+    } else if (byzantine_acceptors.contains(id)) {
+      acceptors_.push_back(
+          std::make_unique<ByzantineAcceptor>(sim_, id, config_, fake_value));
+    } else {
+      acceptors_.push_back(std::make_unique<RqsAcceptor>(sim_, id, config_));
+    }
+  }
+  for (std::size_t i = 0; i < proposer_count; ++i) {
+    const ProcessId id = config_.proposers[i];
+    if (i == 0 && byzantine_proposer) {
+      proposers_.push_back(
+          std::make_unique<ByzantineProposer>(sim_, id, config_, fake_value));
+    } else {
+      proposers_.push_back(std::make_unique<RqsProposer>(sim_, id, config_));
+    }
+  }
+  for (std::size_t i = 0; i < learner_count; ++i) {
+    learners_.push_back(std::make_unique<RqsLearner>(
+        sim_, kFirstLearnerId + static_cast<ProcessId>(i), config_));
+  }
+}
+
+void ConsensusCluster::propose(std::size_t i, Value v) {
+  if (!first_propose_time_) first_propose_time_ = sim_.now();
+  proposers_.at(i)->propose(v);
+}
+
+bool ConsensusCluster::run_until_learned(sim::SimTime deadline_deltas) {
+  const sim::SimTime deadline = sim_.now() + deadline_deltas * sim_.delta();
+  while (!sim_.idle() && sim_.now() <= deadline) {
+    bool all = true;
+    for (const auto& l : learners_) {
+      if (!sim_.crashed(l->id()) && !l->learned()) all = false;
+    }
+    if (all) return true;
+    sim_.step();
+  }
+  bool all = true;
+  for (const auto& l : learners_) {
+    if (!sim_.crashed(l->id()) && !l->learned()) all = false;
+  }
+  return all;
+}
+
+std::optional<sim::SimTime> ConsensusCluster::learn_delays(std::size_t i) const {
+  const RqsLearner& l = *learners_.at(i);
+  if (!l.learned() || !first_propose_time_) return std::nullopt;
+  return (l.learn_time() - *first_propose_time_) / sim_.delta();
+}
+
+std::optional<Value> ConsensusCluster::agreed_value() const {
+  std::optional<Value> agreed;
+  for (const auto& l : learners_) {
+    if (!l->learned()) continue;
+    if (agreed && *agreed != l->learned_value()) return std::nullopt;
+    agreed = l->learned_value();
+  }
+  return agreed;
+}
+
+}  // namespace rqs::consensus

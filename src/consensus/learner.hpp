@@ -1,0 +1,70 @@
+// RQS consensus: learner automaton (Figure 15, lines 51-53, 60, 101-103).
+//
+// A learner learns through the same three decision rules as acceptors, or
+// by receiving identical decision messages from a basic subset of
+// acceptors; while unlearned it periodically pulls decisions so that late
+// or recovering learners catch up.
+#pragma once
+
+#include "consensus/config.hpp"
+#include "consensus/decide_tracker.hpp"
+#include "sim/process.hpp"
+
+namespace rqs::consensus {
+
+class RqsLearner final : public sim::Process {
+ public:
+  RqsLearner(sim::Simulation& sim, ProcessId id, const ConsensusConfig& config)
+      : sim::Process(sim, id),
+        config_(config),
+        tracker_(*config.rqs),
+        pull_timer_(set_timer(kPullPeriodDeltas * sim.delta())) {}
+
+  [[nodiscard]] bool learned() const noexcept { return learned_; }
+  [[nodiscard]] Value learned_value() const noexcept { return value_; }
+  [[nodiscard]] sim::SimTime learn_time() const noexcept { return learn_time_; }
+
+  void on_message(ProcessId from, const sim::Message& m) override {
+    if (learned_) return;
+    if (const auto* up = sim::msg_cast<UpdateMsg>(m)) {
+      if (!config_.acceptors.contains(from)) return;
+      if (const auto v = tracker_.feed(from, *up)) learn(*v);
+      return;
+    }
+    if (const auto* dec = sim::msg_cast<DecisionMsg>(m)) {
+      // Line 101: decisions from a basic subset of acceptors suffice.
+      if (!config_.acceptors.contains(from)) return;
+      ProcessSet& senders = decision_senders_[dec->value];
+      senders.insert(from);
+      if (config_.rqs->adversary().is_basic(senders)) learn(dec->value);
+      return;
+    }
+  }
+
+  void on_timer(sim::TimerId timer) override {
+    if (timer != pull_timer_ || learned_) return;
+    // Lines 102-103.
+    send_all(config_.acceptors, std::make_shared<DecisionPullMsg>());
+    pull_timer_ = set_timer(kPullPeriodDeltas * sim().delta());
+  }
+
+ private:
+  static constexpr sim::SimTime kPullPeriodDeltas = 10;
+
+  void learn(Value v) {
+    if (learned_) return;
+    learned_ = true;
+    value_ = v;
+    learn_time_ = now();
+  }
+
+  ConsensusConfig config_;
+  DecideTracker tracker_;
+  std::map<Value, ProcessSet> decision_senders_;
+  bool learned_{false};
+  Value value_{kNil};
+  sim::SimTime learn_time_{0};
+  sim::TimerId pull_timer_;
+};
+
+}  // namespace rqs::consensus

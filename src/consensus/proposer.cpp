@@ -1,0 +1,160 @@
+#include "consensus/proposer.hpp"
+
+#include <cassert>
+
+namespace rqs::consensus {
+
+RqsProposer::RqsProposer(sim::Simulation& sim, ProcessId id,
+                         const ConsensusConfig& config)
+    : sim::Process(sim, id), config_(config), signer_(*config.authority, id) {}
+
+void RqsProposer::propose(Value v) {
+  if (halted_) return;
+  value_ = v;
+  if (!proposed_) {
+    proposed_ = true;
+    // Fig. 14 lines 101-103: after a preset time, nudge acceptors' timers
+    // with sync and probe for an existing decision.
+    sync_pending_ = true;
+    sync_timer_ = set_timer(3 * sim().delta());
+  }
+  run_propose();
+}
+
+void RqsProposer::run_propose() {
+  if (halted_) return;
+  if (view_ == 0) {
+    // Fig. 9: skip the consult phase in initView.
+    send_prepare(value_, VProof{}, ProcessSet{});
+    return;
+  }
+  // Consult phase (Fig. 12 line 2).
+  consulting_ = true;
+  acks_.clear();
+  faulty_.clear();
+  prepared_quorums_.clear();
+  auto msg = std::make_shared<NewViewMsg>();
+  msg->view = view_;
+  msg->view_proof = view_proof_;
+  send_all(config_.acceptors, std::move(msg));
+}
+
+void RqsProposer::send_prepare(Value v, const VProof& vproof, ProcessSet q) {
+  for (const ProcessId target : config_.acceptors) {
+    auto msg = std::make_shared<PrepareMsg>();
+    msg->value = prepare_value_for(v, target);
+    msg->view = view_;
+    msg->vproof = vproof;
+    msg->vproof_quorum = q;
+    send(target, std::move(msg));
+  }
+}
+
+bool RqsProposer::ack_valid(const NewViewAckMsg& m) const {
+  if (m.data.view != view_) return false;
+  if (!config_.authority->verify(m.signature, m.signer, m.data.payload())) {
+    return false;
+  }
+  // Line 4 ("valid acks"): every claimed update must carry Updateproof
+  // signatures from a basic subset.
+  for (RoundNumber step = 1; step <= 2; ++step) {
+    for (const ViewNumber w : m.data.updateview[step]) {
+      const auto it = m.data.updateproof.find(StepView{step, w});
+      if (it == m.data.updateproof.end()) return false;
+      ProcessSet signers;
+      for (const SignedUpdate& su : it->second) {
+        if (su.value != m.data.update[step] || su.view != w || su.step != step) {
+          return false;
+        }
+        if (!config_.authority->verify(su.signature, su.signer, su.payload())) {
+          return false;
+        }
+        signers.insert(su.signer);
+      }
+      if (!config_.rqs->adversary().is_basic(signers)) return false;
+    }
+  }
+  return true;
+}
+
+void RqsProposer::try_choose_and_prepare() {
+  // Lines 3-8: look for a quorum of valid acks not yet known faulty.
+  ProcessSet acked;
+  for (const auto& [a, data] : acks_) acked.insert(a);
+  for (const Quorum& quorum : config_.rqs->quorums()) {
+    if (!quorum.set.subset_of(acked)) continue;
+    if (faulty_.find(quorum.set) != faulty_.end()) continue;
+    if (prepared_quorums_.find(quorum.set) != prepared_quorums_.end()) continue;
+    // Restrict the proof to exactly Q's members.
+    VProof vproof;
+    for (const ProcessId a : quorum.set) vproof[a] = acks_[a];
+    const ChooseResult chosen = choose(value_, vproof, quorum.set, *config_.rqs);
+    if (chosen.abort) {
+      faulty_.insert(quorum.set);  // line 7
+      continue;
+    }
+    prepared_quorums_.insert(quorum.set);
+    consulting_ = false;
+    send_prepare(chosen.value, vproof, quorum.set);  // line 9
+    return;
+  }
+}
+
+void RqsProposer::on_message(ProcessId from, const sim::Message& m) {
+  if (halted_) return;
+  if (const auto* ack = sim::msg_cast<NewViewAckMsg>(m)) {
+    if (!consulting_ || ack->signer != from) return;
+    if (!config_.acceptors.contains(from)) return;
+    if (!ack_valid(*ack)) return;
+    acks_[from] = ack->data;
+    try_choose_and_prepare();
+    return;
+  }
+  if (const auto* vc = sim::msg_cast<ViewChangeMsg>(m)) {
+    // Fig. 14 lines 10-13.
+    if (!config_.acceptors.contains(from)) return;
+    if (vc->change.signer != from) return;
+    if (!config_.authority->verify(vc->change.signature, from,
+                                   vc->change.payload())) {
+      return;
+    }
+    const ViewNumber next = vc->change.next_view;
+    view_changes_[next][from] = vc->change;
+    if (next <= view_ || config_.leader_of(next) != id()) return;
+    ProcessSet senders;
+    for (const auto& [a, change] : view_changes_[next]) senders.insert(a);
+    for (const Quorum& q : config_.rqs->quorums()) {
+      if (!q.set.subset_of(senders)) continue;
+      view_proof_.clear();
+      for (const auto& [a, change] : view_changes_[next]) {
+        view_proof_.push_back(change);
+      }
+      view_ = next;  // line 12
+      if (proposed_) run_propose();  // line 13/10: elected => propose
+      return;
+    }
+    return;
+  }
+  if (const auto* dec = sim::msg_cast<DecisionMsg>(m)) {
+    // Fig. 14 line 104: a quorum of identical decisions halts the proposer.
+    if (!config_.acceptors.contains(from)) return;
+    ProcessSet& senders = decision_senders_[dec->value];
+    senders.insert(from);
+    for (const Quorum& q : config_.rqs->quorums()) {
+      if (q.set.subset_of(senders)) {
+        halted_ = true;
+        return;
+      }
+    }
+    return;
+  }
+}
+
+void RqsProposer::on_timer(sim::TimerId timer) {
+  if (timer != sync_timer_ || !sync_pending_ || halted_) return;
+  sync_pending_ = false;
+  send_all(config_.acceptors, std::make_shared<SyncMsg>());
+  send_all(config_.acceptors, std::make_shared<DecisionPullMsg>());
+}
+
+}  // namespace rqs::consensus

@@ -1,0 +1,95 @@
+#include "core/adversary.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/combinatorics.hpp"
+
+namespace rqs {
+
+namespace {
+
+// Drops every element that is a (non-strict) subset of another element,
+// keeping a single copy of duplicates.
+std::vector<ProcessSet> keep_maximal(std::vector<ProcessSet> elems) {
+  std::sort(elems.begin(), elems.end(),
+            [](ProcessSet a, ProcessSet b) { return a.size() > b.size(); });
+  std::vector<ProcessSet> maximal;
+  for (const ProcessSet e : elems) {
+    const bool covered = std::any_of(
+        maximal.begin(), maximal.end(),
+        [e](ProcessSet m) { return e.subset_of(m); });
+    if (!covered) maximal.push_back(e);
+  }
+  std::sort(maximal.begin(), maximal.end());
+  return maximal;
+}
+
+}  // namespace
+
+Adversary::Adversary(std::size_t n, std::vector<ProcessSet> elements)
+    : n_(n), maximal_(keep_maximal(std::move(elements))) {
+  assert(n <= ProcessSet::kMaxProcesses);
+  for ([[maybe_unused]] const ProcessSet m : maximal_) {
+    assert(m.subset_of(ProcessSet::universe(n)));
+  }
+}
+
+Adversary Adversary::threshold(std::size_t n, std::size_t k) {
+  assert(n <= ProcessSet::kMaxProcesses);
+  assert(k <= n);
+  return Adversary{n, k};
+}
+
+Adversary Adversary::none(std::size_t n) {
+  return Adversary{n, std::vector<ProcessSet>{}};
+}
+
+std::vector<ProcessSet> Adversary::maximal_elements() const {
+  if (!is_threshold()) return maximal_;
+  std::vector<ProcessSet> out;
+  out.reserve(binomial(n_, threshold_k()));
+  for_each_subset_of_size(ProcessSet::universe(n_), threshold_k(),
+                          [&out](ProcessSet s) { out.push_back(s); });
+  return out;
+}
+
+bool Adversary::contains(ProcessSet x) const {
+  if (is_threshold()) return x.size() <= threshold_k();
+  return std::any_of(maximal_.begin(), maximal_.end(),
+                     [x](ProcessSet m) { return x.subset_of(m); });
+}
+
+bool Adversary::is_large(ProcessSet x) const {
+  if (is_threshold()) {
+    // x escapes every union of two size-<=k sets iff |x| >= 2k+1.
+    return x.size() >= 2 * threshold_k() + 1;
+  }
+  // Checking maximal pairs suffices: any B1 u B2 is covered by a union of
+  // maximal elements. Note B = {} makes every set vacuously large and
+  // B = {{}} makes exactly the non-empty sets large.
+  for (const ProcessSet b1 : maximal_) {
+    for (const ProcessSet b2 : maximal_) {
+      if (x.subset_of(b1 | b2)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Adversary::to_string() const {
+  if (is_threshold()) {
+    return "B_" + std::to_string(threshold_k()) + " over " +
+           std::to_string(n_) + " processes";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const ProcessSet m : maximal_) {
+    if (!first) out += ", ";
+    out += m.to_string();
+    first = false;
+  }
+  out += "} (maximal elements) over " + std::to_string(n_) + " processes";
+  return out;
+}
+
+}  // namespace rqs

@@ -1,0 +1,88 @@
+// Adversary structures (Definition 1 of the paper).
+//
+// An adversary B for a set S is a set of subsets of S closed under taking
+// subsets: B in B and B' subset of B implies B' in B. B describes which
+// coalitions of processes may simultaneously be Byzantine.
+//
+// Representation: because B is downward closed it is fully described by its
+// maximal elements. We store either
+//   * an explicit list of maximal elements (general adversary), or
+//   * a threshold bound k (the paper's B_k = all subsets of size <= k),
+// and answer all queries without materializing the (possibly huge) downward
+// closure. The paper's Definition 5 notions of *basic* subset (not in B)
+// and *large* subset (not covered by the union of any two elements of B)
+// are first-class queries here because both protocols use them pervasively.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/process_set.hpp"
+
+namespace rqs {
+
+class Adversary {
+ public:
+  /// General adversary from an explicit list of elements over universe
+  /// {0..n-1}. The list is normalized: non-maximal elements are dropped.
+  /// An empty list yields the degenerate adversary B = {} (no subset,
+  /// not even the empty one, can be Byzantine). Pass {{}} (a list holding
+  /// the empty set) for the crash-only adversary B = { {} }.
+  Adversary(std::size_t n, std::vector<ProcessSet> elements);
+
+  /// The k-bounded threshold adversary B_k: all subsets of size <= k.
+  /// threshold(n, 0) is the crash-only adversary { {} }.
+  [[nodiscard]] static Adversary threshold(std::size_t n, std::size_t k);
+
+  /// The adversary B = {} containing no element at all. With it Property 1
+  /// holds vacuously; the paper notes Property 1 implies Property 3 then.
+  [[nodiscard]] static Adversary none(std::size_t n);
+
+  [[nodiscard]] std::size_t universe_size() const noexcept { return n_; }
+  [[nodiscard]] bool is_threshold() const noexcept { return threshold_k_.has_value(); }
+  /// The bound k for threshold adversaries; meaningless otherwise.
+  [[nodiscard]] std::size_t threshold_k() const noexcept { return threshold_k_.value(); }
+
+  /// Maximal elements. For threshold adversaries this enumerates all
+  /// C(n, k) size-k subsets on demand (use the analytic queries instead
+  /// where possible); for general adversaries it is the stored list.
+  [[nodiscard]] std::vector<ProcessSet> maximal_elements() const;
+
+  /// True iff X is an element of B (i.e., X may be exactly the set of
+  /// Byzantine processes in some execution).
+  [[nodiscard]] bool contains(ProcessSet x) const;
+
+  /// Definition 5: X is *basic* iff X is not in B. Every basic subset
+  /// contains at least one benign process in every execution (Lemma 1).
+  [[nodiscard]] bool is_basic(ProcessSet x) const { return !contains(x); }
+
+  /// Definition 5: X is *large* iff X is not a subset of the union of any
+  /// two elements of B. Every large subset contains a basic subset of
+  /// benign processes in every execution (Lemma 2).
+  [[nodiscard]] bool is_large(ProcessSet x) const;
+
+  /// Enumerates every element of B (the full downward closure) and calls
+  /// fn(B) for each, stopping early if fn returns false. Exponential in the
+  /// size of maximal elements; intended for the small structures of the
+  /// paper's examples and for the protocols' existential predicates.
+  /// Elements reachable from several maximal elements are visited once per
+  /// maximal element; callers use this only for existential search, where
+  /// duplicates are harmless.
+  template <typename Fn>
+  bool for_each_element(Fn&& fn) const;
+
+  /// A human-readable description ("B_2 over 7 processes" or the list).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Adversary(std::size_t n, std::size_t k) : n_(n), threshold_k_(k) {}
+
+  std::size_t n_;
+  std::optional<std::size_t> threshold_k_;  // engaged => threshold adversary
+  std::vector<ProcessSet> maximal_;         // general adversary only
+};
+
+}  // namespace rqs
+
+#include "core/adversary_inl.hpp"

@@ -1,0 +1,23 @@
+// Template member implementations for Adversary.
+#pragma once
+
+#include "common/combinatorics.hpp"
+
+namespace rqs {
+
+template <typename Fn>
+bool Adversary::for_each_element(Fn&& fn) const {
+  if (is_threshold()) {
+    const ProcessSet everyone = ProcessSet::universe(n_);
+    for (std::size_t k = 0; k <= threshold_k(); ++k) {
+      if (!for_each_subset_of_size(everyone, k, fn)) return false;
+    }
+    return true;
+  }
+  for (const ProcessSet m : maximal_) {
+    if (!for_each_subset(m, fn)) return false;
+  }
+  return true;
+}
+
+}  // namespace rqs

@@ -1,0 +1,149 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rqs {
+
+namespace {
+
+/// Iterates all 2^n failure patterns; fn(alive_set, probability).
+template <typename Fn>
+void for_each_failure_pattern(std::size_t n, double p, Fn&& fn) {
+  assert(n <= 24);
+  const std::uint64_t full = ProcessSet::universe(n).mask();
+  for (std::uint64_t mask = 0; mask <= full; ++mask) {
+    const ProcessSet alive = ProcessSet::from_mask(mask);
+    const std::size_t up = alive.size();
+    const double prob =
+        std::pow(1.0 - p, static_cast<double>(up)) *
+        std::pow(p, static_cast<double>(n - up));
+    fn(alive, prob);
+  }
+}
+
+[[nodiscard]] bool class_available(const RefinedQuorumSystem& rqs,
+                                   ProcessSet alive, QuorumClass cls) {
+  for (const Quorum& q : rqs.quorums()) {
+    if (static_cast<int>(q.cls) <= static_cast<int>(cls) &&
+        q.set.subset_of(alive)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double availability(const RefinedQuorumSystem& rqs, double p, QuorumClass cls) {
+  double total = 0.0;
+  for_each_failure_pattern(rqs.universe_size(), p,
+                           [&](ProcessSet alive, double prob) {
+                             if (class_available(rqs, alive, cls)) total += prob;
+                           });
+  return total;
+}
+
+ExpectedLatency expected_latency(const RefinedQuorumSystem& rqs, double p) {
+  double p1 = 0.0, p2 = 0.0, p3 = 0.0, dead = 0.0;
+  for_each_failure_pattern(
+      rqs.universe_size(), p, [&](ProcessSet alive, double prob) {
+        const auto best = rqs.best_available(alive);
+        if (!best) {
+          dead += prob;
+          return;
+        }
+        switch (rqs.quorum(*best).cls) {
+          case QuorumClass::Class1: p1 += prob; break;
+          case QuorumClass::Class2: p2 += prob; break;
+          case QuorumClass::Class3: p3 += prob; break;
+        }
+      });
+  ExpectedLatency out;
+  out.unavailable = dead;
+  const double alive_mass = p1 + p2 + p3;
+  if (alive_mass > 0.0) {
+    out.storage_rounds = (1 * p1 + 2 * p2 + 3 * p3) / alive_mass;
+    out.consensus_delays = (2 * p1 + 3 * p2 + 4 * p3) / alive_mass;
+  }
+  return out;
+}
+
+double load_of(const RefinedQuorumSystem& rqs, const Strategy& strategy) {
+  assert(strategy.size() == rqs.quorum_count());
+  double max_load = 0.0;
+  for (ProcessId i = 0; i < rqs.universe_size(); ++i) {
+    double load = 0.0;
+    for (QuorumId q = 0; q < rqs.quorum_count(); ++q) {
+      if (rqs.quorum_set(q).contains(i)) load += strategy[q];
+    }
+    max_load = std::max(max_load, load);
+  }
+  return max_load;
+}
+
+Strategy uniform_strategy(const RefinedQuorumSystem& rqs, QuorumClass cls) {
+  Strategy w(rqs.quorum_count(), 0.0);
+  std::size_t eligible = 0;
+  for (QuorumId q = 0; q < rqs.quorum_count(); ++q) {
+    if (static_cast<int>(rqs.quorum(q).cls) <= static_cast<int>(cls)) ++eligible;
+  }
+  if (eligible == 0) return w;
+  for (QuorumId q = 0; q < rqs.quorum_count(); ++q) {
+    if (static_cast<int>(rqs.quorum(q).cls) <= static_cast<int>(cls)) {
+      w[q] = 1.0 / static_cast<double>(eligible);
+    }
+  }
+  return w;
+}
+
+Strategy balanced_strategy(const RefinedQuorumSystem& rqs,
+                           std::size_t iterations) {
+  const std::size_t m = rqs.quorum_count();
+  Strategy w(m, 1.0 / static_cast<double>(m));
+  Strategy best = w;
+  double best_load = load_of(rqs, w);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Find the busiest process under w.
+    ProcessId busiest = 0;
+    double busiest_load = -1.0;
+    for (ProcessId i = 0; i < rqs.universe_size(); ++i) {
+      double load = 0.0;
+      for (QuorumId q = 0; q < m; ++q) {
+        if (rqs.quorum_set(q).contains(i)) load += w[q];
+      }
+      if (load > busiest_load) {
+        busiest_load = load;
+        busiest = i;
+      }
+    }
+    // Down-weight quorums containing it; renormalize.
+    const double eta = 0.05;
+    double sum = 0.0;
+    for (QuorumId q = 0; q < m; ++q) {
+      if (rqs.quorum_set(q).contains(busiest)) w[q] *= (1.0 - eta);
+      sum += w[q];
+    }
+    for (double& x : w) x /= sum;
+    const double load = load_of(rqs, w);
+    if (load < best_load) {
+      best_load = load;
+      best = w;
+    }
+  }
+  return best;
+}
+
+double load_lower_bound(const RefinedQuorumSystem& rqs) {
+  std::size_t min_size = rqs.universe_size();
+  for (const Quorum& q : rqs.quorums()) {
+    min_size = std::min(min_size, q.set.size());
+  }
+  if (min_size == 0) return 0.0;
+  const double c = static_cast<double>(min_size);
+  const double n = static_cast<double>(rqs.universe_size());
+  return std::max(1.0 / c, c / n);
+}
+
+}  // namespace rqs

@@ -1,0 +1,72 @@
+// Quantitative analysis of refined quorum systems: availability and load.
+//
+// Section 6 of the paper lists "the load and availability of RQS [Naor &
+// Wool]" as an open research direction; this module provides the classic
+// measures, refined per quorum class:
+//
+//  * availability(p): probability that at least one quorum is fully
+//    correct when every process fails independently with probability p —
+//    per class, this gives the probability of the 1-round/2-round/3-round
+//    (resp. 2/3/4-delay) best case, and from it the *expected best-case
+//    latency* of the storage and consensus algorithms;
+//  * load: the access probability of the busiest process under a
+//    probabilistic strategy picking quorums (Naor-Wool). We compute the
+//    exact load of given strategies and a balanced strategy found by
+//    multiplicative-weights descent (an upper bound on the optimal load),
+//    plus the classic lower bound max(1/c(S), m(S)/n).
+#pragma once
+
+#include <vector>
+
+#include "core/rqs.hpp"
+
+namespace rqs {
+
+/// Probability that at least one quorum of class <= cls is fully correct
+/// when each process fails independently with probability p. Exact, by
+/// enumerating failure patterns grouped over the 2^n subsets for
+/// n <= 24 (the systems in this library are small).
+[[nodiscard]] double availability(const RefinedQuorumSystem& rqs, double p,
+                                  QuorumClass cls = QuorumClass::Class3);
+
+/// Expected best-case rounds of a storage operation at failure probability
+/// p: 1, 2 or 3 depending on the best available class (conditioned on the
+/// system being available at all; returns 0 expectation mass for dead
+/// configurations via the `dead` output).
+struct ExpectedLatency {
+  double storage_rounds{0.0};    ///< E[rounds | some quorum alive]
+  double consensus_delays{0.0};  ///< E[delays | some quorum alive]
+  double unavailable{0.0};       ///< P[no quorum fully correct]
+};
+[[nodiscard]] ExpectedLatency expected_latency(const RefinedQuorumSystem& rqs,
+                                               double p);
+
+/// A probabilistic access strategy: w[i] is the probability of picking
+/// quorum i (must sum to ~1 over the system's quorums).
+using Strategy = std::vector<double>;
+
+/// The load of `strategy`: max over processes of the probability that the
+/// process is accessed, i.e. max_j sum_{Q containing j} w_Q.
+[[nodiscard]] double load_of(const RefinedQuorumSystem& rqs,
+                             const Strategy& strategy);
+
+/// Uniform strategy over all quorums (or over a class).
+[[nodiscard]] Strategy uniform_strategy(const RefinedQuorumSystem& rqs,
+                                        QuorumClass cls = QuorumClass::Class3);
+
+/// Searches for a low-load strategy by multiplicative weights (iterations
+/// of down-weighting quorums that touch the currently busiest processes).
+/// Returns the best strategy found; its load_of() value is an upper bound
+/// on the system load L(S).
+[[nodiscard]] Strategy balanced_strategy(const RefinedQuorumSystem& rqs,
+                                         std::size_t iterations = 2000);
+
+/// The Naor-Wool lower bound on the load of any strategy:
+/// max(1/c(S), m(S)/n) where c(S) is the minimal quorum cardinality and
+/// m(S)... here instantiated as: max over processes is at least
+/// (smallest quorum size)/n, and at least 1/(smallest quorum size)... we
+/// return max(1/n * min|Q|, 1/min|Q|) folded to the classic
+/// max(1/c(S), c(S)/n).
+[[nodiscard]] double load_lower_bound(const RefinedQuorumSystem& rqs);
+
+}  // namespace rqs

@@ -1,0 +1,29 @@
+#include "core/asymmetric.hpp"
+
+#include <cassert>
+
+#include "common/combinatorics.hpp"
+
+namespace rqs {
+
+AsymmetricQuorumSystem make_asymmetric_threshold(std::size_t n, std::size_t k,
+                                                 std::size_t t_r,
+                                                 std::size_t t_w) {
+  assert(n <= 20);
+  assert(t_r < n && t_w < n);
+  std::vector<ProcessSet> reads;
+  std::vector<ProcessSet> writes;
+  const ProcessSet everyone = ProcessSet::universe(n);
+  for (std::size_t missing = 0; missing <= t_r; ++missing) {
+    for_each_subset_of_size(everyone, n - missing,
+                            [&](ProcessSet s) { reads.push_back(s); });
+  }
+  for (std::size_t missing = 0; missing <= t_w; ++missing) {
+    for_each_subset_of_size(everyone, n - missing,
+                            [&](ProcessSet s) { writes.push_back(s); });
+  }
+  return AsymmetricQuorumSystem{Adversary::threshold(n, k), std::move(reads),
+                                std::move(writes)};
+}
+
+}  // namespace rqs

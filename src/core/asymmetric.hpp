@@ -1,0 +1,80 @@
+// Asymmetric read/write quorums — tooling for the Section 6 open direction
+// "the extension of RQS with respect to asymmetric read and write quorums
+// [Small Byzantine quorum systems]".
+//
+// In read-dominated storage workloads it pays to make read quorums small
+// and write quorums large (or vice versa). The intersection requirements
+// then become asymmetric: a read quorum must meet every *write* quorum in
+// a basic set (so a reader always finds the last written value at a benign
+// server), and write quorums must pairwise meet in a basic set (so
+// timestamps are totally ordered); read quorums need not intersect each
+// other at all. This module checks those conditions against an adversary
+// structure and builds the threshold instances, exposing the classic
+// trade-off n > t_r + t_w + k.
+#pragma once
+
+#include <vector>
+
+#include "core/adversary.hpp"
+
+namespace rqs {
+
+class AsymmetricQuorumSystem {
+ public:
+  AsymmetricQuorumSystem(Adversary adversary,
+                         std::vector<ProcessSet> read_quorums,
+                         std::vector<ProcessSet> write_quorums)
+      : adversary_(std::move(adversary)),
+        reads_(std::move(read_quorums)),
+        writes_(std::move(write_quorums)) {}
+
+  [[nodiscard]] const Adversary& adversary() const noexcept { return adversary_; }
+  [[nodiscard]] const std::vector<ProcessSet>& read_quorums() const noexcept {
+    return reads_;
+  }
+  [[nodiscard]] const std::vector<ProcessSet>& write_quorums() const noexcept {
+    return writes_;
+  }
+
+  /// Read-write consistency: every read quorum intersects every write
+  /// quorum in a set outside B.
+  [[nodiscard]] bool read_write_consistency() const {
+    for (const ProcessSet r : reads_) {
+      for (const ProcessSet w : writes_) {
+        if (!adversary_.is_basic(r & w)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Write ordering: write quorums pairwise intersect in a set outside B
+  /// (including each with itself: a write quorum may not lie inside B).
+  [[nodiscard]] bool write_ordering() const {
+    for (std::size_t i = 0; i < writes_.size(); ++i) {
+      for (std::size_t j = i; j < writes_.size(); ++j) {
+        if (!adversary_.is_basic(writes_[i] & writes_[j])) return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool valid() const {
+    return !reads_.empty() && !writes_.empty() && read_write_consistency() &&
+           write_ordering();
+  }
+
+ private:
+  Adversary adversary_;
+  std::vector<ProcessSet> reads_;
+  std::vector<ProcessSet> writes_;
+};
+
+/// The threshold instance: read quorums miss at most t_r processes, write
+/// quorums at most t_w, adversary B_k. Valid iff n > t_r + t_w + k (and
+/// n > 2 t_w + k for write ordering).
+[[nodiscard]] AsymmetricQuorumSystem make_asymmetric_threshold(std::size_t n,
+                                                               std::size_t k,
+                                                               std::size_t t_r,
+                                                               std::size_t t_w);
+
+}  // namespace rqs

@@ -1,0 +1,161 @@
+#include "core/classification.hpp"
+
+#include <cassert>
+
+namespace rqs {
+
+namespace {
+
+// Builds a RefinedQuorumSystem from sets + a class bitmap pair.
+// Bit i of qc1_mask (qc2_mask) set <=> quorum i is class 1 (class 2).
+RefinedQuorumSystem assemble(const std::vector<ProcessSet>& sets,
+                             const Adversary& adversary,
+                             std::uint32_t qc1_mask, std::uint32_t qc2_mask) {
+  std::vector<Quorum> quorums;
+  quorums.reserve(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    QuorumClass cls = QuorumClass::Class3;
+    if ((qc1_mask >> i) & 1u) {
+      cls = QuorumClass::Class1;
+    } else if ((qc2_mask >> i) & 1u) {
+      cls = QuorumClass::Class2;
+    }
+    quorums.push_back(Quorum{sets[i], cls});
+  }
+  return RefinedQuorumSystem{adversary, std::move(quorums)};
+}
+
+}  // namespace
+
+ClassificationResult classify(const std::vector<ProcessSet>& quorums,
+                              const Adversary& adversary) {
+  assert(quorums.size() <= 20);
+  const std::size_t m = quorums.size();
+  ClassificationResult best;
+  best.classes.assign(m, QuorumClass::Class3);
+
+  // Property 1 does not depend on classes; reject early if it fails.
+  {
+    const RefinedQuorumSystem plain = assemble(quorums, adversary, 0, 0);
+    CheckResult r;
+    if (!plain.check_property1(r, 1)) return best;
+  }
+  best.property1_ok = true;
+
+  // For each candidate QC1 (subset mask), check Property 2 once, then grow
+  // QC2 greedily: given QC1, Property 3 is checked per class-2 quorum
+  // independently, so the maximal QC2 is exactly the set of quorums whose
+  // P3 row holds (class 1 members are class 2 members by definition and
+  // must pass their own P3 rows too).
+  const std::uint32_t limit = (m >= 32) ? 0xFFFFFFFFu
+                                        : ((std::uint32_t{1} << m) - 1u);
+  for (std::uint32_t qc1 = 0;; ++qc1) {
+    // Check Property 2 for this QC1.
+    {
+      const RefinedQuorumSystem cand = assemble(quorums, adversary, qc1, qc1);
+      CheckResult r;
+      if (!cand.check_property2(r, 1)) {
+        if (qc1 == limit) break;
+        continue;
+      }
+    }
+    // Greedily find the maximal QC2 containing QC1: a quorum j may be
+    // class 2 iff its P3 row holds with the fixed QC1. P3b only references
+    // QC1, and P3a only the pair (Q2, Q), so rows are independent.
+    std::uint32_t qc2 = qc1;
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint32_t bit = std::uint32_t{1} << j;
+      if (qc2 & bit) continue;
+      const RefinedQuorumSystem cand =
+          assemble(quorums, adversary, qc1, qc1 | bit);
+      CheckResult r;
+      if (cand.check_property3(r, 1)) qc2 |= bit;
+    }
+    // Class 1 members must also pass their own P3 rows (they are class 2
+    // members); verify the full assignment before scoring.
+    const RefinedQuorumSystem cand = assemble(quorums, adversary, qc1, qc2);
+    CheckResult r;
+    if (cand.check_property3(r, 1)) {
+      const std::size_t c1 = static_cast<std::size_t>(std::popcount(qc1));
+      const std::size_t c2 = static_cast<std::size_t>(std::popcount(qc2));
+      if (c1 > best.class1_count ||
+          (c1 == best.class1_count && c2 > best.class2_count)) {
+        best.class1_count = c1;
+        best.class2_count = c2;
+        for (std::size_t j = 0; j < m; ++j) {
+          const std::uint32_t bit = std::uint32_t{1} << j;
+          best.classes[j] = (qc1 & bit)   ? QuorumClass::Class1
+                            : (qc2 & bit) ? QuorumClass::Class2
+                                          : QuorumClass::Class3;
+        }
+      }
+    }
+    if (qc1 == limit) break;
+  }
+  return best;
+}
+
+std::uint64_t count_classifications(const std::vector<ProcessSet>& quorums,
+                                    const Adversary& adversary) {
+  assert(quorums.size() <= 20);
+  const std::size_t m = quorums.size();
+  {
+    const RefinedQuorumSystem plain = assemble(quorums, adversary, 0, 0);
+    CheckResult r;
+    if (!plain.check_property1(r, 1)) return 0;
+  }
+  std::uint64_t count = 0;
+  const std::uint32_t limit = (std::uint32_t{1} << m) - 1u;
+  for (std::uint32_t qc2 = 0;; ++qc2) {
+    // Enumerate QC1 as submasks of QC2 (QC1 must be contained in QC2).
+    std::uint32_t qc1 = qc2;
+    while (true) {
+      const RefinedQuorumSystem cand = assemble(quorums, adversary, qc1, qc2);
+      CheckResult r;
+      if (cand.check_property2(r, 1) && cand.check_property3(r, 1)) ++count;
+      if (qc1 == 0) break;
+      qc1 = (qc1 - 1) & qc2;
+    }
+    if (qc2 == limit) break;
+  }
+  return count;
+}
+
+std::uint64_t count_p1_collections(std::size_t n, const Adversary& adversary,
+                                   std::size_t max_quorums) {
+  assert(n <= 6 && "exhaustive collection search is for tiny universes");
+  // Candidate quorums: non-empty subsets X with X not in B (Property 1
+  // applied to Q n Q = Q) — others can never join any collection.
+  std::vector<ProcessSet> candidates;
+  const std::uint64_t full = ProcessSet::universe(n).mask();
+  for (std::uint64_t mask = 1; mask <= full; ++mask) {
+    const ProcessSet s = ProcessSet::from_mask(mask);
+    if (adversary.is_basic(s)) candidates.push_back(s);
+  }
+  // DFS over candidates in index order; a set may join if it P1-intersects
+  // every chosen set.
+  std::uint64_t count = 0;
+  std::vector<ProcessSet> chosen;
+  auto dfs = [&](auto&& self, std::size_t start) -> void {
+    if (!chosen.empty()) ++count;
+    if (chosen.size() == max_quorums) return;
+    for (std::size_t i = start; i < candidates.size(); ++i) {
+      const ProcessSet c = candidates[i];
+      bool ok = true;
+      for (const ProcessSet q : chosen) {
+        if (!adversary.is_basic(q & c)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      chosen.push_back(c);
+      self(self, i + 1);
+      chosen.pop_back();
+    }
+  };
+  dfs(dfs, 0);
+  return count;
+}
+
+}  // namespace rqs

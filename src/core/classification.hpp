@@ -1,0 +1,50 @@
+// Quorum classification and small-system enumeration.
+//
+// The paper stresses (Figure 3) that the cardinality of a quorum says
+// nothing about its class: only intersections matter. Given a bare list of
+// quorums and an adversary, these utilities find class assignments
+// (QC1 subset of QC2) under which the three RQS properties hold, and count
+// them — tooling for the Section 6 open question "how many RQS can be
+// found given some adversary structure".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rqs.hpp"
+
+namespace rqs {
+
+/// Result of searching for the best classification of a quorum list.
+struct ClassificationResult {
+  bool property1_ok{false};           ///< the list is a quorum system at all
+  std::vector<QuorumClass> classes;   ///< best assignment found (per quorum)
+  std::size_t class1_count{0};
+  std::size_t class2_count{0};
+};
+
+/// Finds a class assignment maximizing (|QC1|, then |QC2|) for the given
+/// quorum process sets under `adversary`, by exhaustive search over QC1
+/// candidates (requires at most 20 quorums) followed by the per-quorum
+/// maximal QC2 (Property 3 is independent per class 2 quorum once QC1 is
+/// fixed). Returns property1_ok = false (and class-3 everywhere) when the
+/// list does not even satisfy Property 1.
+[[nodiscard]] ClassificationResult classify(const std::vector<ProcessSet>& quorums,
+                                            const Adversary& adversary);
+
+/// Counts all valid (QC1, QC2) assignments (including the trivial empty
+/// one) for the given quorums, i.e. the number of distinct refined quorum
+/// systems sharing this quorum list. Exhaustive; at most 20 quorums.
+[[nodiscard]] std::uint64_t count_classifications(
+    const std::vector<ProcessSet>& quorums, const Adversary& adversary);
+
+/// Counts collections of at most `max_quorums` distinct non-empty subsets
+/// of {0..n-1} that satisfy Property 1 pairwise under `adversary` —
+/// an exhaustive answer to "how many (plain) quorum systems exist" for
+/// tiny universes (n <= 6 recommended). Collections are unordered;
+/// the empty collection is not counted.
+[[nodiscard]] std::uint64_t count_p1_collections(std::size_t n,
+                                                 const Adversary& adversary,
+                                                 std::size_t max_quorums);
+
+}  // namespace rqs

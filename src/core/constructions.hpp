@@ -1,0 +1,121 @@
+// Canonical refined quorum system constructions from the paper.
+//
+// Examples 2-6 (Section 2.2) are threshold families: every quorum contains
+// all but at most t processes, class 1 (resp. class 2) quorums contain all
+// but at most q (resp. r) processes, against the threshold adversary B_k.
+// Example 7 and Figure 3 are the paper's general-adversary showcases.
+//
+// All constructions return *explicit* systems (every quorum enumerated);
+// the analytic feasibility conditions of Examples 5/6 are exposed
+// separately so benches can sweep parameters without enumeration.
+#pragma once
+
+#include "core/rqs.hpp"
+
+namespace rqs {
+
+/// Parameters of the threshold family of Example 6: quorums = Q_t,
+/// QC2 = Q_r, QC1 = Q_q with 0 <= q <= r <= t, adversary B_k.
+/// (Example 5 is the special case q = r; Examples 2-4 have empty QC1.)
+struct ThresholdParams {
+  std::size_t n{0};  ///< |S|
+  std::size_t k{0};  ///< adversary bound (B_k)
+  std::size_t t{0};  ///< quorums miss at most t processes
+  std::size_t r{0};  ///< class 2 quorums miss at most r processes
+  std::size_t q{0};  ///< class 1 quorums miss at most q processes
+  bool has_class1{true};  ///< false reproduces Examples 2-4 (QC1 empty)
+  bool has_class2{true};  ///< false additionally empties QC2 (dissemination)
+};
+
+/// Analytic feasibility conditions for the threshold family, as derived in
+/// Examples 5 and 6 of the paper. Each mirrors one RQS property.
+struct ThresholdBounds {
+  /// Property 1 holds iff |S| > 2t + k.
+  [[nodiscard]] static bool property1(const ThresholdParams& p) noexcept {
+    return p.n > 2 * p.t + p.k;
+  }
+  /// Property 2 holds iff |S| > t + 2k + 2q (vacuous without class 1).
+  [[nodiscard]] static bool property2(const ThresholdParams& p) noexcept {
+    if (!p.has_class1) return true;
+    return p.n > p.t + 2 * p.k + 2 * p.q;
+  }
+  /// Property 3 holds iff |S| > t + r + k + min(k, q) (vacuous without
+  /// class 2; with class 2 but no class 1, P3b is unavailable and the
+  /// condition degenerates to |S| > t + r + 2k).
+  [[nodiscard]] static bool property3(const ThresholdParams& p) noexcept {
+    if (!p.has_class2) return true;
+    if (!p.has_class1) return p.n > p.t + p.r + 2 * p.k;
+    return p.n > p.t + p.r + p.k + std::min(p.k, p.q);
+  }
+  [[nodiscard]] static bool all(const ThresholdParams& p) noexcept {
+    return property1(p) && property2(p) && property3(p);
+  }
+};
+
+/// Builds the explicit threshold RQS for `p`: all subsets of size
+/// >= n - t are quorums; a quorum of size >= n - q is class 1, else size
+/// >= n - r is class 2 (subject to the has_class1/2 switches). The number
+/// of quorums is sum_{i<=t} C(n, n-i); intended for the small systems the
+/// protocols run on (asserts n <= 24).
+[[nodiscard]] RefinedQuorumSystem make_threshold_rqs(const ThresholdParams& p);
+
+/// Example 2: crash-tolerant majorities. B = {{}} (no Byzantine process),
+/// quorums = all majorities, QC1 = QC2 = empty.
+[[nodiscard]] RefinedQuorumSystem make_crash_majority(std::size_t n);
+
+/// Example 3: Byzantine-tolerant two-thirds quorums. B = B_{floor((n-1)/3)},
+/// quorums = all subsets missing at most floor((n-1)/3), QC1 = QC2 = empty.
+[[nodiscard]] RefinedQuorumSystem make_byzantine_third(std::size_t n);
+
+/// Example 4, first half: a disseminating quorum system in the sense of
+/// Malkhi & Reiter (QC1 = QC2 = empty) for adversary B_k with quorums Q_t.
+[[nodiscard]] RefinedQuorumSystem make_disseminating(std::size_t n, std::size_t k,
+                                                     std::size_t t);
+
+/// Example 4, second half: a masking quorum system (QC1 = empty,
+/// QC2 = RQS) for adversary B_k with quorums Q_t.
+[[nodiscard]] RefinedQuorumSystem make_masking(std::size_t n, std::size_t k,
+                                               std::size_t t);
+
+/// Example 5: "fast" threshold RQS with QC1 = QC2 = Q_q (q <= t),
+/// adversary B_k. Requires the Lamport bounds |S| > 2q+t+2k, |S| > 2t+k.
+[[nodiscard]] RefinedQuorumSystem make_fast_threshold(std::size_t n, std::size_t k,
+                                                      std::size_t t, std::size_t q);
+
+/// Example 6: graded threshold RQS, QC1 = Q_q, QC2 = Q_r, 0 <= q < r <= t.
+[[nodiscard]] RefinedQuorumSystem make_graded_threshold(std::size_t n, std::size_t k,
+                                                        std::size_t t, std::size_t r,
+                                                        std::size_t q);
+
+/// The important instantiation highlighted at the end of Example 6:
+/// |S| = 3t+1 processes, k = t Byzantine, r = t (every quorum class 2),
+/// q = 0 (the full set is the only class 1 quorum).
+[[nodiscard]] RefinedQuorumSystem make_3t1_instantiation(std::size_t t);
+
+/// Figure 3's example over 8 processes with adversary B_1 (processes are
+/// 0-indexed; the paper's element i is process i-1):
+///   Q   = {4,5,6,7}        class 3
+///   Q'  = {0,1,2,3,6,7}    class 3
+///   Q2  = {0,1,2,4,5}      class 2
+///   Q1  = {2,3,4,5,6}      class 1
+[[nodiscard]] RefinedQuorumSystem make_fig3_example();
+
+/// Example 7's six-server general-adversary system (0-indexed, the paper's
+/// s_i is process i-1): B maximal elements {0,1}, {2,3}, {1,3};
+///   Q1  = {1,3,4,5}        class 1
+///   Q2  = {0,1,2,3,4}      class 2
+///   Q2' = {0,1,2,3,5}      class 2
+[[nodiscard]] RefinedQuorumSystem make_example7();
+
+/// The Section 1.2 / Figure 2(b) system: 5 crash-prone servers, t = 2;
+/// every 3-subset is a quorum and every 4-subset is a class 1 quorum.
+/// With k = 0, Property 3 is free, so all quorums are class 2: reads and
+/// writes finish in at most 2 rounds, matching the Section 5 discussion.
+[[nodiscard]] RefinedQuorumSystem make_fig1_fast5();
+
+/// A deliberately *invalid* variant of the Section 1.2 system where the
+/// 3-subsets are (wrongly) declared class 1 — the configuration whose
+/// atomicity violation Figure 1 depicts. check() rejects it via P2.
+[[nodiscard]] RefinedQuorumSystem make_fig1_broken5();
+
+}  // namespace rqs

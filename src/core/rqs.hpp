@@ -1,0 +1,150 @@
+// Refined quorum systems (Definition 2 of the paper).
+//
+// A refined quorum system RQS over a set S with adversary B is a set of
+// quorums with two nested subclasses QC1 (class 1) and QC2 (class 2),
+// QC1 subset of QC2 subset of RQS, such that:
+//
+//   Property 1:  for all Q, Q' in RQS:               Q n Q' not in B.
+//   Property 2:  for all Q1, Q1' in QC1, Q in RQS,
+//                B1, B2 in B:        Q1 n Q1' n Q not subset of B1 u B2.
+//   Property 3:  for all Q2 in QC2, Q in RQS, B in B:
+//                P3a(Q2,Q,B):   Q2 n Q \ B not in B,           or
+//                P3b(Q2,Q,B):   QC1 nonempty and for all Q1 in QC1:
+//                               Q1 n Q2 n Q \ B nonempty.
+//
+// The disjunction of Property 3 is *per element B* (this is the corrected,
+// journal-revision statement; the PODC'07 conference version erroneously
+// placed the disjunction outside the quantifier over B — see the paper's
+// Appendix C errata. check_property3_conference() implements the erroneous
+// variant so tests can demonstrate the difference).
+//
+// Quorums are identified by their index in the quorum list (QuorumId);
+// both protocols ship quorum ids inside messages (the paper's QC'2 sets),
+// so stable ids are part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/adversary.hpp"
+
+namespace rqs {
+
+/// Index of a quorum within a RefinedQuorumSystem.
+using QuorumId = std::uint32_t;
+
+inline constexpr QuorumId kInvalidQuorum = static_cast<QuorumId>(-1);
+
+/// The class of a quorum. Class 1 quorums are also class 2 quorums, which
+/// are also class 3 (plain) quorums; the enum value is the *best* class.
+enum class QuorumClass : std::uint8_t { Class1 = 1, Class2 = 2, Class3 = 3 };
+
+[[nodiscard]] constexpr const char* to_string(QuorumClass c) noexcept {
+  switch (c) {
+    case QuorumClass::Class1: return "class-1";
+    case QuorumClass::Class2: return "class-2";
+    case QuorumClass::Class3: return "class-3";
+  }
+  return "?";
+}
+
+/// One annotated quorum.
+struct Quorum {
+  ProcessSet set;
+  QuorumClass cls{QuorumClass::Class3};
+};
+
+/// A violation of one of the three properties, with the witnesses that
+/// falsify it; to_string() renders a human-readable diagnosis.
+struct PropertyViolation {
+  int property{0};            // 1, 2 or 3
+  QuorumId q_a{kInvalidQuorum};   // P1: Q     P2: Q1     P3: Q2
+  QuorumId q_b{kInvalidQuorum};   // P1: Q'    P2: Q1'    P3: Q
+  QuorumId q_c{kInvalidQuorum};   // P2/P3: the third quorum Q / witness Q1
+  ProcessSet b1;              // offending adversary element
+  ProcessSet b2;              // second element (P2 only)
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Outcome of checking a refined quorum system against its adversary.
+struct CheckResult {
+  std::vector<PropertyViolation> violations;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class RefinedQuorumSystem {
+ public:
+  /// Builds a refined quorum system over `adversary.universe_size()`
+  /// processes. Quorum classes must already be nested in the input in the
+  /// sense that any class assignment is legal syntax; whether the
+  /// *properties* hold is reported by check(). Duplicate process sets are
+  /// allowed (the paper never forbids them) but usually undesirable.
+  RefinedQuorumSystem(Adversary adversary, std::vector<Quorum> quorums);
+
+  [[nodiscard]] const Adversary& adversary() const noexcept { return adversary_; }
+  [[nodiscard]] std::size_t universe_size() const noexcept {
+    return adversary_.universe_size();
+  }
+
+  [[nodiscard]] std::size_t quorum_count() const noexcept { return quorums_.size(); }
+  [[nodiscard]] const Quorum& quorum(QuorumId id) const { return quorums_.at(id); }
+  [[nodiscard]] ProcessSet quorum_set(QuorumId id) const { return quorums_.at(id).set; }
+  [[nodiscard]] std::span<const Quorum> quorums() const noexcept { return quorums_; }
+
+  /// Ids of quorums of class <= c (remember class 1 quorums are class 2
+  /// quorums are class 3 quorums).
+  [[nodiscard]] const std::vector<QuorumId>& class1_ids() const noexcept { return qc1_; }
+  [[nodiscard]] const std::vector<QuorumId>& class2_ids() const noexcept { return qc2_; }
+  [[nodiscard]] std::vector<QuorumId> all_ids() const;
+
+  [[nodiscard]] bool has_class1() const noexcept { return !qc1_.empty(); }
+  [[nodiscard]] bool has_class2() const noexcept { return !qc2_.empty(); }
+
+  /// First quorum id whose process set equals `s`, if any.
+  [[nodiscard]] std::optional<QuorumId> find(ProcessSet s) const;
+
+  /// First quorum (of any class) fully contained in the `alive` set, if
+  /// any; protocols use this to ask "is some quorum entirely correct?".
+  /// When several qualify, the best (lowest) class wins.
+  [[nodiscard]] std::optional<QuorumId> best_available(ProcessSet alive) const;
+
+  /// The paper's P3a(Q2, Q, B): Q2 n Q \ B is not in B.
+  [[nodiscard]] bool p3a(ProcessSet q2, ProcessSet q, ProcessSet b) const;
+
+  /// The paper's P3b(Q2, Q, B): QC1 is nonempty and Q1 n Q2 n Q \ B is
+  /// nonempty for every class 1 quorum Q1.
+  [[nodiscard]] bool p3b(ProcessSet q2, ProcessSet q, ProcessSet b) const;
+
+  /// Full property check (Definition 2). Stops after `max_violations`
+  /// findings (0 = collect everything).
+  [[nodiscard]] CheckResult check(std::size_t max_violations = 1) const;
+
+  [[nodiscard]] bool check_property1(CheckResult& out, std::size_t max) const;
+  [[nodiscard]] bool check_property2(CheckResult& out, std::size_t max) const;
+  [[nodiscard]] bool check_property3(CheckResult& out, std::size_t max) const;
+
+  /// The erroneous conference-version Property 3 (disjunction outside the
+  /// quantifier over B): for all Q2, Q: (for all B: P3a) or (for all B:
+  /// P3b). Strictly stronger than the corrected property; provided so tests
+  /// and benches can exhibit structures separating the two.
+  [[nodiscard]] bool check_property3_conference() const;
+
+  /// True iff all three properties hold.
+  [[nodiscard]] bool valid() const { return check(1).ok(); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Adversary adversary_;
+  std::vector<Quorum> quorums_;
+  std::vector<QuorumId> qc1_;
+  std::vector<QuorumId> qc2_;
+};
+
+}  // namespace rqs

@@ -1,0 +1,28 @@
+// Message base class for the discrete-event simulator.
+//
+// Protocols define plain structs deriving from Message; the network carries
+// them as shared_ptr<const Message> (a delivered message may be handed to
+// many receivers, so payloads are immutable after send). Receivers downcast
+// with msg_cast<M>().
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace rqs::sim {
+
+struct Message {
+  virtual ~Message() = default;
+  /// Short human-readable tag for traces ("WR", "RD_ACK", "PREPARE", ...).
+  [[nodiscard]] virtual std::string tag() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Typed view of a message; nullptr when the runtime type differs.
+template <typename M>
+[[nodiscard]] const M* msg_cast(const Message& m) noexcept {
+  return dynamic_cast<const M*>(&m);
+}
+
+}  // namespace rqs::sim

@@ -1,0 +1,80 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace rqs::sim {
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
+  if (sim_.crashed(from)) return;
+  ++sent_;
+  ++sent_by_tag_[msg->tag()];
+  std::optional<SimTime> delay;
+  bool decided = false;
+  for (const auto& [id, rule] : rules_) {
+    const auto decision = rule(from, to, sim_.now(), *msg);
+    if (decision.has_value()) {
+      decided = true;
+      if (!decision->has_value()) {
+        ++dropped_;
+        return;  // dropped / in transit forever
+      }
+      delay = **decision;
+      break;
+    }
+  }
+  if (!decided) delay = default_delay_;
+  if (loss_probability_ > 0.0 && loss_draw_ && loss_draw_() < loss_probability_) {
+    ++dropped_;
+    return;
+  }
+  sim_.deliver_at(sim_.now() + *delay, from, to, std::move(msg));
+}
+
+std::size_t Network::add_rule(Rule rule) {
+  const std::size_t id = next_rule_id_++;
+  rules_.insert(rules_.begin(), {id, std::move(rule)});
+  return id;
+}
+
+void Network::remove_rule(std::size_t id) {
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [id](const auto& r) { return r.first == id; }),
+               rules_.end());
+}
+
+void Network::clear_rules() { rules_.clear(); }
+
+std::size_t Network::block(ProcessSet froms, ProcessSet tos) {
+  return add_rule([froms, tos](ProcessId from, ProcessId to, SimTime,
+                               const Message&) -> std::optional<std::optional<SimTime>> {
+    if (froms.contains(from) && tos.contains(to)) return std::optional<SimTime>{};
+    return std::nullopt;
+  });
+}
+
+std::size_t Network::hold_until(ProcessSet froms, ProcessSet tos, SimTime until) {
+  return add_rule([froms, tos, until](
+                      ProcessId from, ProcessId to, SimTime now,
+                      const Message&) -> std::optional<std::optional<SimTime>> {
+    if (froms.contains(from) && tos.contains(to)) {
+      return std::optional<SimTime>{std::max<SimTime>(until - now, 0)};
+    }
+    return std::nullopt;
+  });
+}
+
+std::size_t Network::fixed_delay(ProcessSet froms, ProcessSet tos, SimTime delay) {
+  return add_rule([froms, tos, delay](
+                      ProcessId from, ProcessId to, SimTime,
+                      const Message&) -> std::optional<std::optional<SimTime>> {
+    if (froms.contains(from) && tos.contains(to)) return std::optional<SimTime>{delay};
+    return std::nullopt;
+  });
+}
+
+void Network::set_loss(double probability, std::function<double()> draw) {
+  loss_probability_ = probability;
+  loss_draw_ = std::move(draw);
+}
+
+}  // namespace rqs::sim

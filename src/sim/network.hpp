@@ -1,0 +1,90 @@
+// Point-to-point message network with a programmable delay policy.
+//
+// The policy decides, per message, the delivery delay or a drop. Scenario
+// drivers use it to realize the paper's executions exactly: synchronous
+// periods (delay <= Delta), asynchronous periods (arbitrary delays),
+// messages "in transit" forever (the indistinguishability arguments of
+// Theorems 3 and 6), lossy channels (consensus model), and partitions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "sim/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace rqs::sim {
+
+class Network {
+ public:
+  explicit Network(Simulation& sim) : sim_(sim), default_delay_(sim.delta()) {}
+
+  /// Delay rule: returns the delivery delay for a message, or nullopt to
+  /// drop it (equivalently: leave it in transit forever). Rules are
+  /// consulted in installation order; the first engaged result wins.
+  /// If no rule decides, the default delay (one Delta) applies.
+  using Rule = std::function<std::optional<std::optional<SimTime>>(
+      ProcessId from, ProcessId to, SimTime now, const Message& msg)>;
+
+  /// Sends msg from `from` to `to`; called by Process::send.
+  void send(ProcessId from, ProcessId to, MessagePtr msg);
+
+  /// Installs a rule (consulted before older rules). Returns an id usable
+  /// with remove_rule.
+  std::size_t add_rule(Rule rule);
+  void remove_rule(std::size_t id);
+  void clear_rules();
+
+  /// Convenience rules. All of them match directional (from, to) pairs.
+  /// Blocks messages from any process in `froms` to any in `tos`,
+  /// forever (drop) — used for "messages remain in transit".
+  std::size_t block(ProcessSet froms, ProcessSet tos);
+  /// Delays messages on the given directional pairs until absolute time
+  /// `until` (delivery exactly at `until`).
+  std::size_t hold_until(ProcessSet froms, ProcessSet tos, SimTime until);
+  /// Fixed delay for the given directional pairs.
+  std::size_t fixed_delay(ProcessSet froms, ProcessSet tos, SimTime delay);
+
+  /// The default delay applied when no rule matches (initially the
+  /// simulation's Delta, modeling a synchronous system; raise it or add
+  /// rules to model asynchrony).
+  void set_default_delay(SimTime d) noexcept { default_delay_ = d; }
+  [[nodiscard]] SimTime default_delay() const noexcept { return default_delay_; }
+
+  /// Message-loss probability applied after rules (consensus model allows
+  /// lossy channels). 0 by default; uses the given rng draw function.
+  void set_loss(double probability, std::function<double()> draw);
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
+  /// Message counts per tag() — the message-complexity accounting used by
+  /// the benches (the paper's Section 5 discusses the protocols' message
+  /// complexity; best-case counts per operation are reported there).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& sent_by_tag() const noexcept {
+    return sent_by_tag_;
+  }
+  /// Resets the per-tag and total counters (e.g. between operations).
+  void reset_counters() noexcept {
+    sent_ = 0;
+    dropped_ = 0;
+    sent_by_tag_.clear();
+  }
+
+ private:
+  Simulation& sim_;
+  std::vector<std::pair<std::size_t, Rule>> rules_;  // newest first
+  std::size_t next_rule_id_{0};
+  SimTime default_delay_;
+  double loss_probability_{0.0};
+  std::function<double()> loss_draw_;
+  std::uint64_t sent_{0};
+  std::uint64_t dropped_{0};
+  std::map<std::string, std::uint64_t> sent_by_tag_;
+};
+
+}  // namespace rqs::sim

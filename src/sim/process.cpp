@@ -1,0 +1,21 @@
+#include "sim/process.hpp"
+
+#include "sim/network.hpp"
+
+namespace rqs::sim {
+
+Process::Process(Simulation& sim, ProcessId id) : sim_(sim), id_(id) {
+  sim_.add_process(*this);
+}
+
+void Process::send(ProcessId to, MessagePtr msg) {
+  sim_.network().send(id_, to, std::move(msg));
+}
+
+void Process::send_all(ProcessSet targets, MessagePtr msg) {
+  for (const ProcessId to : targets) {
+    sim_.network().send(id_, to, msg);
+  }
+}
+
+}  // namespace rqs::sim

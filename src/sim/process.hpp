@@ -1,0 +1,46 @@
+// Base class for simulated processes (the paper's deterministic automata).
+#pragma once
+
+#include "common/process_set.hpp"
+#include "sim/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace rqs::sim {
+
+class Process {
+ public:
+  Process(Simulation& sim, ProcessId id);
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] ProcessId id() const noexcept { return id_; }
+  [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] SimTime now() const noexcept { return sim_.now(); }
+
+  /// Delivery of `m` sent by `from`. The receive + computation + send
+  /// substeps of the paper all happen inside (virtual time does not
+  /// advance during a step).
+  virtual void on_message(ProcessId from, const Message& m) = 0;
+
+  /// A timer armed via set_timer fired.
+  virtual void on_timer(TimerId timer) { (void)timer; }
+
+ protected:
+  /// Sends a message (no-op if this process crashed).
+  void send(ProcessId to, MessagePtr msg);
+
+  /// Sends a copy of msg to every member of `targets`.
+  void send_all(ProcessSet targets, MessagePtr msg);
+
+  /// Arms a timer firing after `delay` virtual time units.
+  TimerId set_timer(SimTime delay) { return sim_.arm_timer(id_, delay); }
+  void cancel_timer(TimerId t) { sim_.cancel_timer(t); }
+
+ private:
+  Simulation& sim_;
+  ProcessId id_;
+};
+
+}  // namespace rqs::sim

@@ -1,0 +1,69 @@
+// Simulated digital signatures.
+//
+// The consensus model (Section 4.1) lets messages be authenticated and
+// assumes Byzantine processes cannot forge signatures of benign processes:
+// if pB sends <m>_sigma_p then p already sent <m>_sigma_p. We realize
+// exactly that power — no more, no less — without cryptography: an
+// authority keeps an append-only log of (signer, payload) records; sign()
+// appends and returns the record index, verify() checks membership.
+// A Byzantine process may *replay* any signature it has seen (the paper's
+// lower-bound executions rely on replays of unauthenticated data), but a
+// payload never signed by p can never verify as p's.
+//
+// Protocol code signs through the Signer capability handed to each process
+// at construction, which pins the signer id — the simulator-level analogue
+// of a private key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rqs::sim {
+
+struct Signature {
+  ProcessId signer{kInvalidProcess};
+  std::uint64_t record{0};
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class SignatureAuthority {
+ public:
+  /// Records that `signer` signed `payload` and returns the signature.
+  [[nodiscard]] Signature sign(ProcessId signer, const std::string& payload) {
+    log_.push_back({signer, payload});
+    return Signature{signer, log_.size() - 1};
+  }
+
+  /// True iff `sig` is a genuine signature by `claimed` over `payload`.
+  [[nodiscard]] bool verify(const Signature& sig, ProcessId claimed,
+                            const std::string& payload) const {
+    if (sig.signer != claimed || sig.record >= log_.size()) return false;
+    const auto& rec = log_[sig.record];
+    return rec.first == claimed && rec.second == payload;
+  }
+
+ private:
+  std::vector<std::pair<ProcessId, std::string>> log_;
+};
+
+/// Per-process signing capability (the "private key").
+class Signer {
+ public:
+  Signer(SignatureAuthority& authority, ProcessId owner)
+      : authority_(&authority), owner_(owner) {}
+
+  [[nodiscard]] Signature sign(const std::string& payload) const {
+    return authority_->sign(owner_, payload);
+  }
+  [[nodiscard]] ProcessId owner() const noexcept { return owner_; }
+
+ private:
+  SignatureAuthority* authority_;
+  ProcessId owner_;
+};
+
+}  // namespace rqs::sim

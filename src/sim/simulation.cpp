@@ -1,0 +1,89 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+
+namespace rqs::sim {
+
+Simulation::Simulation(SimTime delta)
+    : delta_(delta), network_(std::make_unique<Network>(*this)) {}
+
+Simulation::~Simulation() = default;
+
+void Simulation::add_process(Process& p) {
+  assert(processes_.find(p.id()) == processes_.end());
+  processes_[p.id()] = &p;
+}
+
+Process* Simulation::process(ProcessId id) const {
+  const auto it = processes_.find(id);
+  return it == processes_.end() ? nullptr : it->second;
+}
+
+void Simulation::crash(ProcessId id) { crashed_[id] = true; }
+
+bool Simulation::crashed(ProcessId id) const {
+  const auto it = crashed_.find(id);
+  return it != crashed_.end() && it->second;
+}
+
+void Simulation::push(SimTime at, EventPhase phase, std::function<void()> fn) {
+  assert(at >= now_);
+  queue_.push(Event{at, phase, next_seq_++, std::move(fn)});
+}
+
+void Simulation::schedule_at(SimTime at, std::function<void()> fn) {
+  push(at, EventPhase::kDelivery, std::move(fn));
+}
+
+void Simulation::deliver_at(SimTime at, ProcessId from, ProcessId to,
+                            MessagePtr msg) {
+  push(at, EventPhase::kDelivery, [this, from, to, msg = std::move(msg)] {
+    if (crashed(to)) return;
+    Process* p = process(to);
+    if (p == nullptr) return;
+    ++messages_delivered_;
+    p->on_message(from, *msg);
+  });
+}
+
+TimerId Simulation::arm_timer(ProcessId owner, SimTime delay) {
+  const TimerId id = next_timer_++;
+  timer_cancelled_[id] = false;
+  push(now_ + delay, EventPhase::kTimer, [this, owner, id] {
+    const auto it = timer_cancelled_.find(id);
+    const bool cancelled = (it == timer_cancelled_.end()) || it->second;
+    timer_cancelled_.erase(id);
+    if (cancelled || crashed(owner)) return;
+    Process* p = process(owner);
+    if (p != nullptr) p->on_timer(id);
+  });
+  return id;
+}
+
+void Simulation::cancel_timer(TimerId id) {
+  const auto it = timer_cancelled_.find(id);
+  if (it != timer_cancelled_.end()) it->second = true;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+SimTime Simulation::run(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  return now_;
+}
+
+}  // namespace rqs::sim

@@ -1,0 +1,120 @@
+// Deterministic discrete-event simulation engine.
+//
+// The paper's model (Section 3.1): processes are deterministic automata
+// taking steps that receive messages, update state and send messages, with
+// negligible local computation time; the system is asynchronous but may be
+// synchronous during intervals, with a known bound Delta on message delays
+// in synchronous periods. This engine realizes that model with a virtual
+// clock: every message delivery and timer expiration is an event; events
+// at equal times fire in FIFO schedule order, making runs reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace rqs::sim {
+
+/// Virtual time. The unit is arbitrary; protocols only compare against the
+/// synchrony bound Delta. Benches use kDelta = 1000 ("1ms links").
+using SimTime = std::int64_t;
+
+/// Default synchrony bound used across tests and benches.
+inline constexpr SimTime kDefaultDelta = 1000;
+
+class Process;
+class Network;
+
+/// Identifier of a pending timer; cancel() uses it.
+using TimerId = std::uint64_t;
+
+class Simulation {
+ public:
+  explicit Simulation(SimTime delta = kDefaultDelta);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimTime delta() const noexcept { return delta_; }
+
+  [[nodiscard]] Network& network() noexcept { return *network_; }
+
+  /// Registers a process under its id. The simulation does not own
+  /// processes; the caller keeps them alive for the run's duration.
+  void add_process(Process& p);
+  [[nodiscard]] Process* process(ProcessId id) const;
+
+  /// Marks `id` crashed: no further events (messages, timers) reach it and
+  /// nothing it tries to send leaves it.
+  void crash(ProcessId id);
+  [[nodiscard]] bool crashed(ProcessId id) const;
+
+  /// Schedules an arbitrary callback at absolute virtual time `at`
+  /// (>= now). Used by scenario drivers to inject operations and faults.
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules message delivery to `to` at time `at` (used by Network).
+  void deliver_at(SimTime at, ProcessId from, ProcessId to, MessagePtr msg);
+
+  /// Arms a timer for process `owner` firing at now()+delay; returns an id
+  /// passed back to Process::on_timer.
+  TimerId arm_timer(ProcessId owner, SimTime delay);
+  void cancel_timer(TimerId id);
+
+  /// Runs until the event queue is empty or `deadline` is passed
+  /// (events at exactly `deadline` still fire). Returns the time of the
+  /// last fired event.
+  SimTime run(SimTime deadline = std::numeric_limits<SimTime>::max());
+
+  /// Fires the single next event; false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+  /// Statistics: total messages delivered so far.
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+
+ private:
+  // Timers fire *after* message deliveries scheduled for the same instant:
+  // the synchrony bound Delta is an upper bound on delays, so a message
+  // sent within a timeout window must be counted when the timeout expires.
+  enum class EventPhase : std::uint8_t { kDelivery = 0, kTimer = 1 };
+
+  struct Event {
+    SimTime at;
+    EventPhase phase;
+    std::uint64_t seq;  // FIFO tie-break within a phase
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(SimTime at, EventPhase phase, std::function<void()> fn);
+
+  SimTime now_{0};
+  SimTime delta_;
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_timer_{1};
+  std::uint64_t messages_delivered_{0};
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::map<ProcessId, Process*> processes_;
+  std::map<ProcessId, bool> crashed_;
+  std::map<TimerId, bool> timer_cancelled_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace rqs::sim

@@ -1,0 +1,89 @@
+#include "storage/abd.hpp"
+
+#include <cassert>
+
+namespace rqs::storage {
+
+void AbdServer::on_message(ProcessId from, const sim::Message& m) {
+  if (const auto* wr = sim::msg_cast<AbdWriteMsg>(m)) {
+    if (wr->ts > cell_.ts) cell_ = TsValue{wr->ts, wr->value};
+    auto ack = std::make_shared<AbdWriteAck>();
+    ack->ts = wr->ts;
+    send(from, std::move(ack));
+    return;
+  }
+  if (const auto* rd = sim::msg_cast<AbdReadMsg>(m)) {
+    auto ack = std::make_shared<AbdReadAck>();
+    ack->read_no = rd->read_no;
+    ack->ts = cell_.ts;
+    ack->value = cell_.val;
+    send(from, std::move(ack));
+    return;
+  }
+}
+
+void AbdWriter::write(Value v, DoneFn done) {
+  assert(!busy_);
+  busy_ = true;
+  done_ = std::move(done);
+  acked_ = ProcessSet{};
+  ++ts_;
+  auto msg = std::make_shared<AbdWriteMsg>();
+  msg->ts = ts_;
+  msg->value = v;
+  send_all(servers_, std::move(msg));
+}
+
+void AbdWriter::on_message(ProcessId from, const sim::Message& m) {
+  const auto* ack = sim::msg_cast<AbdWriteAck>(m);
+  if (ack == nullptr || !busy_ || ack->ts != ts_) return;
+  acked_.insert(from);
+  if (acked_.size() >= majority()) {
+    busy_ = false;
+    DoneFn done = std::move(done_);
+    done_ = nullptr;
+    if (done) done();
+  }
+}
+
+void AbdReader::read(DoneFn done) {
+  assert(phase_ == Phase::kIdle);
+  done_ = std::move(done);
+  phase_ = Phase::kQuery;
+  acked_ = ProcessSet{};
+  best_ = kInitialPair;
+  ++read_no_;
+  auto msg = std::make_shared<AbdReadMsg>();
+  msg->read_no = read_no_;
+  send_all(servers_, std::move(msg));
+}
+
+void AbdReader::on_message(ProcessId from, const sim::Message& m) {
+  if (const auto* ack = sim::msg_cast<AbdReadAck>(m)) {
+    if (phase_ != Phase::kQuery || ack->read_no != read_no_) return;
+    acked_.insert(from);
+    if (TsValue{ack->ts, ack->value} > best_) best_ = TsValue{ack->ts, ack->value};
+    if (acked_.size() >= majority()) {
+      phase_ = Phase::kWriteback;
+      acked_ = ProcessSet{};
+      auto wb = std::make_shared<AbdWriteMsg>();
+      wb->ts = best_.ts;
+      wb->value = best_.val;
+      send_all(servers_, std::move(wb));
+    }
+    return;
+  }
+  if (const auto* ack = sim::msg_cast<AbdWriteAck>(m)) {
+    if (phase_ != Phase::kWriteback || ack->ts != best_.ts) return;
+    acked_.insert(from);
+    if (acked_.size() >= majority()) {
+      phase_ = Phase::kIdle;
+      DoneFn done = std::move(done_);
+      done_ = nullptr;
+      if (done) done(best_.val);
+    }
+    return;
+  }
+}
+
+}  // namespace rqs::storage

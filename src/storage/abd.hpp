@@ -1,0 +1,94 @@
+// Baseline: the classical Attiya-Bar-Noy-Dolev (ABD) SWMR atomic storage
+// over majority quorums, tolerating a minority of crash failures.
+//
+// This is the paper's reference point [4]: writes take one round, reads
+// always take two rounds (query + writeback), regardless of conditions —
+// which is exactly the lower bound the RQS algorithm circumvents with
+// class 1 quorums when more servers are reachable. The benches contrast
+// round counts of ABD and RQS storage across best/degraded cases.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/types.hpp"
+#include "sim/process.hpp"
+
+namespace rqs::storage {
+
+struct AbdWriteMsg final : sim::Message {
+  Timestamp ts{0};
+  Value value{kBottom};
+  [[nodiscard]] std::string tag() const override { return "ABD_WRITE"; }
+};
+struct AbdWriteAck final : sim::Message {
+  Timestamp ts{0};
+  [[nodiscard]] std::string tag() const override { return "ABD_WRITE_ACK"; }
+};
+struct AbdReadMsg final : sim::Message {
+  std::uint64_t read_no{0};
+  [[nodiscard]] std::string tag() const override { return "ABD_READ"; }
+};
+struct AbdReadAck final : sim::Message {
+  std::uint64_t read_no{0};
+  Timestamp ts{0};
+  Value value{kBottom};
+  [[nodiscard]] std::string tag() const override { return "ABD_READ_ACK"; }
+};
+
+/// ABD server: one timestamped register cell.
+class AbdServer final : public sim::Process {
+ public:
+  AbdServer(sim::Simulation& sim, ProcessId id) : sim::Process(sim, id) {}
+  void on_message(ProcessId from, const sim::Message& m) override;
+
+  [[nodiscard]] TsValue cell() const noexcept { return cell_; }
+
+ private:
+  TsValue cell_{kInitialPair};
+};
+
+/// ABD writer: single round to a majority.
+class AbdWriter final : public sim::Process {
+ public:
+  using DoneFn = std::function<void()>;
+  AbdWriter(sim::Simulation& sim, ProcessId id, ProcessSet servers)
+      : sim::Process(sim, id), servers_(servers) {}
+
+  void write(Value v, DoneFn done);
+  [[nodiscard]] RoundNumber last_write_rounds() const noexcept { return 1; }
+  void on_message(ProcessId from, const sim::Message& m) override;
+
+ private:
+  [[nodiscard]] std::size_t majority() const { return servers_.size() / 2 + 1; }
+
+  ProcessSet servers_;
+  Timestamp ts_{0};
+  ProcessSet acked_;
+  bool busy_{false};
+  DoneFn done_;
+};
+
+/// ABD reader: query round + writeback round, always two rounds.
+class AbdReader final : public sim::Process {
+ public:
+  using DoneFn = std::function<void(Value)>;
+  AbdReader(sim::Simulation& sim, ProcessId id, ProcessSet servers)
+      : sim::Process(sim, id), servers_(servers) {}
+
+  void read(DoneFn done);
+  [[nodiscard]] RoundNumber last_read_rounds() const noexcept { return 2; }
+  void on_message(ProcessId from, const sim::Message& m) override;
+
+ private:
+  [[nodiscard]] std::size_t majority() const { return servers_.size() / 2 + 1; }
+
+  ProcessSet servers_;
+  std::uint64_t read_no_{0};
+  enum class Phase { kIdle, kQuery, kWriteback } phase_{Phase::kIdle};
+  ProcessSet acked_;
+  TsValue best_{kInitialPair};
+  DoneFn done_;
+};
+
+}  // namespace rqs::storage

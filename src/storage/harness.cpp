@@ -1,0 +1,68 @@
+#include "storage/harness.hpp"
+
+#include <cassert>
+
+namespace rqs::storage {
+
+StorageCluster::StorageCluster(RefinedQuorumSystem rqs, std::size_t reader_count,
+                               ProcessSet byzantine,
+                               ByzantineStorageServer::ForgeFn forge,
+                               sim::SimTime delta)
+    : sim_(delta), rqs_(std::move(rqs)), servers_(ProcessSet::universe(rqs_.universe_size())) {
+  if (!forge) forge = ByzantineStorageServer::forget_everything();
+  for (ProcessId id = 0; id < rqs_.universe_size(); ++id) {
+    if (byzantine.contains(id)) {
+      servers_obj_.push_back(
+          std::make_unique<ByzantineStorageServer>(sim_, id, forge));
+    } else {
+      servers_obj_.push_back(std::make_unique<RqsStorageServer>(sim_, id));
+    }
+  }
+  writer_ = std::make_unique<RqsWriter>(sim_, kWriterId, rqs_, servers_);
+  for (std::size_t i = 0; i < reader_count; ++i) {
+    readers_.push_back(std::make_unique<RqsReader>(
+        sim_, kFirstReaderId + static_cast<ProcessId>(i), rqs_, servers_));
+    read_done_.push_back(true);
+    read_value_.push_back(kBottom);
+    read_invoked_.push_back(0);
+  }
+}
+
+RoundNumber StorageCluster::blocking_write(Value v) {
+  async_write(v);
+  while (!write_done_ && sim_.step()) {
+  }
+  assert(write_done_ && "write did not terminate (no live quorum?)");
+  return writer_->last_write_rounds();
+}
+
+StorageCluster::ReadOutcome StorageCluster::blocking_read(std::size_t i) {
+  async_read(i);
+  while (!read_done_[i] && sim_.step()) {
+  }
+  assert(read_done_[i] && "read did not terminate (no live quorum?)");
+  return ReadOutcome{read_value_[i], readers_[i]->last_read_rounds()};
+}
+
+void StorageCluster::async_write(Value v) {
+  assert(write_done_);
+  write_done_ = false;
+  write_invoked_ = sim_.now();
+  writer_->write(v, [this, v] {
+    write_done_ = true;
+    checker_.add_write(write_invoked_, sim_.now(), v);
+  });
+}
+
+void StorageCluster::async_read(std::size_t i) {
+  assert(read_done_[i]);
+  read_done_[i] = false;
+  read_invoked_[i] = sim_.now();
+  readers_[i]->read([this, i](Value v) {
+    read_done_[i] = true;
+    read_value_[i] = v;
+    checker_.add_read(read_invoked_[i], sim_.now(), v);
+  });
+}
+
+}  // namespace rqs::storage

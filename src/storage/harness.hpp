@@ -1,0 +1,90 @@
+// Scenario harness wiring a storage cluster inside the simulator.
+//
+// Builds servers 0..n-1 (benign or Byzantine), one writer (id 100) and any
+// number of readers (ids 101, 102, ...) over a given refined quorum
+// system; offers "blocking" operations that drive the simulation until the
+// operation's response step, and records every completed operation into an
+// AtomicityChecker. Used by tests, benches and examples.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/rqs.hpp"
+#include "sim/network.hpp"
+#include "storage/reader.hpp"
+#include "storage/server.hpp"
+#include "storage/spec.hpp"
+#include "storage/writer.hpp"
+
+namespace rqs::storage {
+
+// Client process ids. They share the ProcessSet id space with servers
+// (ids 0..n-1), so they must stay below ProcessSet::kMaxProcesses = 64;
+// network scripting addresses clients through ProcessSet rules.
+inline constexpr ProcessId kWriterId = 40;
+inline constexpr ProcessId kFirstReaderId = 41;
+
+class StorageCluster {
+ public:
+  /// Creates the cluster. Servers listed in `byzantine` are created as
+  /// ByzantineStorageServer with `forge` (defaults to reporting a blank
+  /// history). Unlisted servers are benign.
+  StorageCluster(RefinedQuorumSystem rqs, std::size_t reader_count,
+                 ProcessSet byzantine = {},
+                 ByzantineStorageServer::ForgeFn forge = nullptr,
+                 sim::SimTime delta = sim::kDefaultDelta);
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] sim::Network& network() noexcept { return sim_.network(); }
+  [[nodiscard]] const RefinedQuorumSystem& rqs() const noexcept { return rqs_; }
+  [[nodiscard]] ProcessSet server_set() const noexcept { return servers_; }
+
+  [[nodiscard]] RqsWriter& writer() noexcept { return *writer_; }
+  [[nodiscard]] RqsReader& reader(std::size_t i) { return *readers_.at(i); }
+  [[nodiscard]] RqsStorageServer& server(ProcessId id) { return *servers_obj_.at(id); }
+
+  /// Crashes a server (or client) now.
+  void crash(ProcessId id) { sim_.crash(id); }
+
+  /// Runs write(v) to completion; returns the rounds it took.
+  RoundNumber blocking_write(Value v);
+
+  /// Runs read() by reader i to completion; returns (value, rounds).
+  struct ReadOutcome {
+    Value value{kBottom};
+    RoundNumber rounds{0};
+  };
+  ReadOutcome blocking_read(std::size_t i);
+
+  /// Starts a write without driving the simulation (for overlapping ops).
+  void async_write(Value v);
+  /// Starts a read without driving the simulation.
+  void async_read(std::size_t i);
+  /// True iff the async read started last on reader i has completed;
+  /// value available via last_read_value(i).
+  [[nodiscard]] bool read_done(std::size_t i) const { return read_done_.at(i); }
+  [[nodiscard]] Value last_read_value(std::size_t i) const { return read_value_.at(i); }
+  [[nodiscard]] bool write_done() const { return write_done_; }
+
+  /// The checker accumulating all completed operations.
+  [[nodiscard]] AtomicityChecker& checker() noexcept { return checker_; }
+
+ private:
+  sim::Simulation sim_;
+  RefinedQuorumSystem rqs_;
+  ProcessSet servers_;
+  std::vector<std::unique_ptr<RqsStorageServer>> servers_obj_;
+  std::unique_ptr<RqsWriter> writer_;
+  std::vector<std::unique_ptr<RqsReader>> readers_;
+
+  AtomicityChecker checker_;
+  bool write_done_{true};
+  sim::SimTime write_invoked_{0};
+  std::vector<bool> read_done_;
+  std::vector<Value> read_value_;
+  std::vector<sim::SimTime> read_invoked_;
+};
+
+}  // namespace rqs::storage

@@ -1,0 +1,98 @@
+// Wire messages of the RQS atomic storage algorithm (Figures 5-7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/rqs.hpp"
+#include "sim/message.hpp"
+
+namespace rqs::storage {
+
+/// A set of class 2 quorum identifiers (the paper's QC'2 / Set values).
+using QuorumIdSet = std::set<QuorumId>;
+
+/// One slot of a server's history matrix: history[ts, rnd] = <pair, sets>.
+struct HistorySlot {
+  TsValue pair{kInitialPair};
+  QuorumIdSet sets;
+
+  [[nodiscard]] bool is_initial() const {
+    return pair == kInitialPair && sets.empty();
+  }
+  friend bool operator==(const HistorySlot&, const HistorySlot&) = default;
+};
+
+/// A server's full history of the shared variable: rows keyed by timestamp,
+/// three slots per row (rounds 1..3). Absent rows/slots are initial.
+/// The paper deliberately keeps the entire history (Section 5).
+class ServerHistory {
+ public:
+  /// Read access; returns the initial slot when the entry was never set.
+  [[nodiscard]] const HistorySlot& at(Timestamp ts, RoundNumber rnd) const {
+    static const HistorySlot kInitial{};
+    const auto row = rows_.find(ts);
+    if (row == rows_.end()) return kInitial;
+    const auto slot = row->second.find(rnd);
+    return slot == row->second.end() ? kInitial : slot->second;
+  }
+
+  /// Mutable access, creating the slot on demand.
+  [[nodiscard]] HistorySlot& slot(Timestamp ts, RoundNumber rnd) {
+    return rows_[ts][rnd];
+  }
+
+  /// Iterates rows in timestamp order: fn(ts, rnd, slot).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [ts, row] : rows_) {
+      for (const auto& [rnd, s] : row) fn(ts, rnd, s);
+    }
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::map<Timestamp, std::map<RoundNumber, HistorySlot>> rows_;
+};
+
+/// wr<ts, v, QC'2, rnd> — sent by the writer in all rounds and by readers
+/// during writebacks.
+struct WrMsg final : sim::Message {
+  Timestamp ts{0};
+  Value value{kBottom};
+  QuorumIdSet qc2_set;  // the paper's QC'2 / Set parameter
+  RoundNumber rnd{1};
+
+  [[nodiscard]] std::string tag() const override { return "WR"; }
+};
+
+/// wr_ack<ts, rnd>.
+struct WrAck final : sim::Message {
+  Timestamp ts{0};
+  RoundNumber rnd{1};
+
+  [[nodiscard]] std::string tag() const override { return "WR_ACK"; }
+};
+
+/// rd<read_no, rnd>.
+struct RdMsg final : sim::Message {
+  std::uint64_t read_no{0};
+  RoundNumber rnd{1};
+
+  [[nodiscard]] std::string tag() const override { return "RD"; }
+};
+
+/// rd_ack<read_no, rnd, history> — carries the full history snapshot.
+struct RdAck final : sim::Message {
+  std::uint64_t read_no{0};
+  RoundNumber rnd{1};
+  ServerHistory history;
+
+  [[nodiscard]] std::string tag() const override { return "RD_ACK"; }
+};
+
+}  // namespace rqs::storage

@@ -1,0 +1,391 @@
+#include "storage/reader.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rqs::storage {
+
+RqsReader::RqsReader(sim::Simulation& sim, ProcessId id,
+                     const RefinedQuorumSystem& rqs, ProcessSet servers,
+                     Mode mode)
+    : sim::Process(sim, id), rqs_(rqs), servers_(servers), mode_(mode) {}
+
+void RqsReader::read(DoneFn done) {
+  assert(!busy() && "one outstanding operation per client");
+  done_ = std::move(done);
+  // Lines 20-21.
+  read_rnd_ = 0;
+  qc2_prime_.clear();
+  responded_.clear();
+  responded_servers_ = ProcessSet{};
+  history_.clear();
+  highest_ts_ = 0;
+  total_rounds_ = 0;
+  ++read_no_;
+  phase_ = Phase::kCollect;
+  start_collect_round();
+}
+
+// ---------------------------------------------------------------------------
+// Predicates (lines 1-9 of Figure 7). history[i] defaults to the initial
+// history for servers that have not responded, exactly as the paper
+// initializes history[*,*,*] := <<0, bottom>, {}> (line 10).
+// ---------------------------------------------------------------------------
+
+const HistorySlot& RqsReader::slot(ProcessId i, Timestamp ts,
+                                   RoundNumber rnd) const {
+  static const HistorySlot kInitial{};
+  const auto it = history_.find(i);
+  if (it == history_.end()) return kInitial;
+  return it->second.at(ts, rnd);
+}
+
+bool RqsReader::read_pred(const TsValue& c, ProcessId i) const {
+  return slot(i, c.ts, 1).pair == c || slot(i, c.ts, 2).pair == c;
+}
+
+bool RqsReader::valid1(const TsValue& c, ProcessSet q) const {
+  // exists T subset of Q, T not in B, all of T report c in slot 1. The
+  // maximal such T is the set of matching servers; B downward closed makes
+  // checking it alone sound and complete.
+  ProcessSet t;
+  for (const ProcessId i : q) {
+    if (slot(i, c.ts, 1).pair == c) t.insert(i);
+  }
+  return rqs_.adversary().is_basic(t);
+}
+
+bool RqsReader::valid2(const TsValue& c, ProcessSet q) const {
+  return std::any_of(q.begin(), q.end(), [&](ProcessId i) {
+    return slot(i, c.ts, 2).pair == c;
+  });
+}
+
+bool RqsReader::valid3(const TsValue& c, ProcessSet q) const {
+  // exists Q2 in QC2, exists B in adversary with P3b(Q2, Q, B), such that
+  // every server of Q2 n Q \ B reports <c, Set_i> in slot 1 with Q2 in
+  // Set_i. The quantification over B enumerates all adversary elements
+  // (the disjuncts are not monotone in B, so maximal elements alone would
+  // not suffice here).
+  for (const QuorumId q2id : rqs_.class2_ids()) {
+    const ProcessSet q2 = rqs_.quorum_set(q2id);
+    bool found = false;
+    rqs_.adversary().for_each_element([&](ProcessSet b) {
+      if (!rqs_.p3b(q2, q, b)) return true;  // keep searching
+      const ProcessSet members = (q2 & q) - b;
+      for (const ProcessId i : members) {
+        const HistorySlot& s = slot(i, c.ts, 1);
+        if (s.pair != c || s.sets.find(q2id) == s.sets.end()) return true;
+      }
+      found = true;
+      return false;  // stop: witness found
+    });
+    if (found) return true;
+  }
+  return false;
+}
+
+bool RqsReader::invalid(const TsValue& c) const {
+  if (c.ts > highest_ts_) return true;
+  for (const QuorumId qid : responded_) {
+    const ProcessSet q = rqs_.quorum_set(qid);
+    if (!valid1(c, q) && !valid2(c, q) && !valid3(c, q)) return true;
+  }
+  return false;
+}
+
+bool RqsReader::safe(const TsValue& c) const {
+  ProcessSet holders;
+  for (const ProcessId i : servers_) {
+    if (read_pred(c, i)) holders.insert(i);
+  }
+  return rqs_.adversary().is_basic(holders);
+}
+
+bool RqsReader::high_cand(const TsValue& c) const {
+  for (const TsValue& other : candidate_pairs()) {
+    if (other.ts > c.ts && !invalid(other)) return false;
+  }
+  return true;
+}
+
+std::vector<TsValue> RqsReader::candidate_pairs() const {
+  std::vector<TsValue> out{kInitialPair};
+  for (const auto& [i, hist] : history_) {
+    hist.for_each([&](Timestamp, RoundNumber rnd, const HistorySlot& s) {
+      if (rnd <= 2 && std::find(out.begin(), out.end(), s.pair) == out.end()) {
+        out.push_back(s.pair);
+      }
+    });
+  }
+  return out;
+}
+
+std::vector<QuorumId> RqsReader::class_ids(RoundNumber r) const {
+  switch (r) {
+    case 1: return rqs_.class1_ids();
+    case 2: return rqs_.class2_ids();
+    default: return rqs_.all_ids();
+  }
+}
+
+bool RqsReader::bcd1(const TsValue& c, RoundNumber r) const {
+  // line 1: exists Q1 in QC1, QR in QC_R, a common Set, with
+  // Q1 n QR subset of {s_i : history[i, c.ts, R] = <c, Set>} and
+  // (R != 2 or QR in Set).
+  for (const QuorumId q1id : rqs_.class1_ids()) {
+    const ProcessSet q1 = rqs_.quorum_set(q1id);
+    for (const QuorumId qrid : class_ids(r)) {
+      const ProcessSet inter = q1 & rqs_.quorum_set(qrid);
+      if (inter.empty()) continue;
+      // All members must hold slot <c, Set> for one common Set.
+      const HistorySlot& first = slot(inter.first(), c.ts, r);
+      if (first.pair != c) continue;
+      bool uniform = true;
+      for (const ProcessId i : inter) {
+        const HistorySlot& s = slot(i, c.ts, r);
+        if (s.pair != c || s.sets != first.sets) {
+          uniform = false;
+          break;
+        }
+      }
+      if (!uniform) continue;
+      if (r == 2 && first.sets.find(qrid) == first.sets.end()) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+QuorumIdSet RqsReader::bcd2(const TsValue& c, RoundNumber r) const {
+  // line 2: the class 2 quorums Q2 of QC'2 for which some class R quorum
+  // QR satisfies QR n Q2 subset of {s_i : history[i, c.ts, R].pair = c}.
+  QuorumIdSet out;
+  for (const QuorumId q2id : qc2_prime_) {
+    const ProcessSet q2 = rqs_.quorum_set(q2id);
+    for (const QuorumId qrid : class_ids(r)) {
+      const ProcessSet inter = q2 & rqs_.quorum_set(qrid);
+      const bool all_match = std::all_of(inter.begin(), inter.end(), [&](ProcessId i) {
+        return slot(i, c.ts, r).pair == c;
+      });
+      if (all_match) {
+        out.insert(q2id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Collect phase (the repeat loop, lines 22-34).
+// ---------------------------------------------------------------------------
+
+void RqsReader::start_collect_round() {
+  ++read_rnd_;  // line 23
+  ++total_rounds_;
+  round_acks_ = ProcessSet{};
+  if (read_rnd_ == 1) {  // line 24
+    timer_expired_ = false;
+    timer_ = set_timer(2 * sim().delta());
+  } else {
+    timer_expired_ = true;
+  }
+  auto msg = std::make_shared<RdMsg>();  // line 25
+  msg->read_no = read_no_;
+  msg->rnd = read_rnd_;
+  send_all(servers_, std::move(msg));
+}
+
+void RqsReader::on_message(ProcessId from, const sim::Message& m) {
+  if (!servers_.contains(from)) return;
+  if (const auto* ack = sim::msg_cast<RdAck>(m)) {
+    if (ack->read_no != read_no_ || phase_ == Phase::kIdle) return;
+    // Lines 50-51: adopt the snapshot (any round of this read).
+    history_[from] = ack->history;
+    responded_servers_.insert(from);
+    // Lines 52-53: extend Responded with fully-acked quorums.
+    for (QuorumId qid = 0; qid < rqs_.quorum_count(); ++qid) {
+      if (rqs_.quorum_set(qid).subset_of(responded_servers_)) {
+        responded_.insert(qid);
+      }
+    }
+    if (phase_ == Phase::kCollect && ack->rnd == read_rnd_) {
+      round_acks_.insert(from);
+      maybe_finish_collect_round();
+    }
+    return;
+  }
+  if (const auto* ack = sim::msg_cast<WrAck>(m)) {
+    if (phase_ != Phase::kWriteback1 && phase_ != Phase::kWriteback1Plain &&
+        phase_ != Phase::kWriteback2) {
+      return;
+    }
+    if (ack->ts != csel_.ts || ack->rnd != wb_round_) return;
+    wb_acks_.insert(from);
+    maybe_finish_writeback();
+    return;
+  }
+}
+
+void RqsReader::on_timer(sim::TimerId timer) {
+  if (timer != timer_) return;
+  timer_expired_ = true;
+  if (phase_ == Phase::kCollect) {
+    maybe_finish_collect_round();
+  } else if (phase_ == Phase::kWriteback1) {
+    maybe_finish_writeback();
+  }
+}
+
+void RqsReader::maybe_finish_collect_round() {
+  // Line 26: acks of this round from some quorum; line 28: in round 1,
+  // additionally the 2*Delta timer.
+  if (!timer_expired_) return;
+  const bool some_quorum = [&] {
+    for (const Quorum& q : rqs_.quorums()) {
+      if (q.set.subset_of(round_acks_)) return true;
+    }
+    return false;
+  }();
+  if (!some_quorum) return;
+  end_collect_round();
+}
+
+void RqsReader::end_collect_round() {
+  if (read_rnd_ == 1) {
+    // Line 29: highest timestamp read anywhere (slots 1-2).
+    highest_ts_ = 0;
+    for (const TsValue& c : candidate_pairs()) {
+      for (const ProcessId i : servers_) {
+        if (read_pred(c, i)) {
+          highest_ts_ = std::max(highest_ts_, c.ts);
+          break;
+        }
+      }
+    }
+    // Lines 30-31: QC'2 = class 2 quorums that acked round 1.
+    qc2_prime_.clear();
+    for (const QuorumId q2 : rqs_.class2_ids()) {
+      if (rqs_.quorum_set(q2).subset_of(round_acks_)) qc2_prime_.insert(q2);
+    }
+  }
+  // Lines 33-34: C = safe && highCand candidates.
+  std::vector<TsValue> selected;
+  for (const TsValue& c : candidate_pairs()) {
+    if (safe(c) && high_cand(c)) selected.push_back(c);
+  }
+  if (selected.empty()) {
+    start_collect_round();  // repeat
+    return;
+  }
+  csel_ = *std::max_element(selected.begin(), selected.end());  // line 35
+  after_selection();
+}
+
+// ---------------------------------------------------------------------------
+// Writeback phase (lines 40-49).
+// ---------------------------------------------------------------------------
+
+void RqsReader::after_selection() {
+  if (mode_ == Mode::kRegular) {
+    // Regular mode: the collect part alone (no writeback, no atomicity).
+    finish(csel_.val);
+    return;
+  }
+  // Line 40: BCD(csel, 1, i) in round 1 => return immediately.
+  if (read_rnd_ == 1) {
+    for (RoundNumber r = 1; r <= 3; ++r) {
+      if (bcd1(csel_, r)) {
+        finish(csel_.val);
+        return;
+      }
+    }
+  }
+  // Line 41.
+  QuorumIdSet bcd2_1 = bcd2(csel_, 1);
+  QuorumIdSet bcd2_23;
+  for (RoundNumber r = 2; r <= 3; ++r) {
+    const QuorumIdSet s = bcd2(csel_, r);
+    bcd2_23.insert(s.begin(), s.end());
+  }
+  if (read_rnd_ == 1 && (!bcd2_1.empty() || !bcd2_23.empty())) {
+    if (!bcd2_23.empty()) {
+      // Line 42: the pair is already complete at some quorum; one round-2
+      // writeback finishes the read.
+      start_writeback(2, QuorumIdSet{}, Phase::kWriteback2);
+      return;
+    }
+    // Lines 43-46: guarded round-1 writeback carrying X = BCD(csel, 2, 1).
+    timer_expired_ = false;
+    timer_ = set_timer(2 * sim().delta());
+    wb_target_ = std::move(bcd2_1);
+    start_writeback(1, wb_target_, Phase::kWriteback1);
+    return;
+  }
+  // Line 49: plain two-round writeback.
+  start_writeback(1, QuorumIdSet{}, Phase::kWriteback1Plain);
+}
+
+void RqsReader::start_writeback(RoundNumber wb_round, const QuorumIdSet& set,
+                                Phase next_phase) {
+  phase_ = next_phase;
+  wb_round_ = wb_round;
+  wb_acks_ = ProcessSet{};
+  ++total_rounds_;
+  auto msg = std::make_shared<WrMsg>();  // line 60
+  msg->ts = csel_.ts;
+  msg->value = csel_.val;
+  msg->qc2_set = set;
+  msg->rnd = wb_round;
+  send_all(servers_, std::move(msg));
+}
+
+void RqsReader::maybe_finish_writeback() {
+  // Line 61: acks from some quorum.
+  const bool some_quorum = [&] {
+    for (const Quorum& q : rqs_.quorums()) {
+      if (q.set.subset_of(wb_acks_)) return true;
+    }
+    return false;
+  }();
+  if (!some_quorum) return;
+
+  switch (phase_) {
+    case Phase::kWriteback2:
+      finish(csel_.val);  // line 62 / end of line 49
+      return;
+    case Phase::kWriteback1: {
+      // Line 45: also wait for the timer before the line 46 check.
+      if (!timer_expired_) return;
+      // Line 46: acks from some quorum of X => the read completes.
+      for (const QuorumId qid : wb_target_) {
+        if (rqs_.quorum_set(qid).subset_of(wb_acks_)) {
+          finish(csel_.val);
+          return;
+        }
+      }
+      // Line 47.
+      start_writeback(2, QuorumIdSet{}, Phase::kWriteback2);
+      return;
+    }
+    case Phase::kWriteback1Plain:
+      // Line 49, second half.
+      start_writeback(2, QuorumIdSet{}, Phase::kWriteback2);
+      return;
+    default:
+      return;
+  }
+}
+
+void RqsReader::finish(Value v) {
+  phase_ = Phase::kIdle;
+  last_rounds_ = total_rounds_;
+  if (!timer_expired_) cancel_timer(timer_);
+  timer_expired_ = true;
+  DoneFn done = std::move(done_);
+  done_ = nullptr;
+  if (done) done(v);
+}
+
+}  // namespace rqs::storage

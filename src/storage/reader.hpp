@@ -1,0 +1,123 @@
+// RQS atomic storage: reader automaton (Figure 7).
+//
+// A read has two parts. The *collect* part (the repeat loop, lines 20-35)
+// implements a regular read: rounds of rd messages gather server history
+// snapshots until some candidate pair is both safe (confirmed by a basic
+// subset, so not fabricated by Byzantine servers) and a highest candidate
+// (every pair with a higher timestamp is invalid); the selected pair csel
+// is the maximum of those. The *writeback* part (lines 40-49) enforces
+// atomicity, steered by the Best-Case Detector BCD: in a synchronous
+// uncontended read it returns after round 1 (class 1 quorum available),
+// after one writeback round (class 2 available; the writeback carries the
+// ids of class 2 quorums that responded — the paper's key new trick), or
+// after two writeback rounds otherwise.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/rqs.hpp"
+#include "sim/process.hpp"
+#include "storage/messages.hpp"
+
+namespace rqs::storage {
+
+class RqsReader final : public sim::Process {
+ public:
+  using DoneFn = std::function<void(Value)>;
+
+  /// Consistency mode. kAtomic runs the full algorithm. kRegular runs only
+  /// the collect part (lines 20-35) and returns csel without any
+  /// writeback — the paper notes this part alone implements a *regular*
+  /// storage (Section 3.2/Section 6): reads return the last complete or a
+  /// concurrent write's value, but new-old read inversions are possible.
+  enum class Mode { kAtomic, kRegular };
+
+  RqsReader(sim::Simulation& sim, ProcessId id, const RefinedQuorumSystem& rqs,
+            ProcessSet servers, Mode mode = Mode::kAtomic);
+
+  /// Starts a read(); `done` receives the returned value.
+  void read(DoneFn done);
+
+  [[nodiscard]] bool busy() const noexcept { return phase_ != Phase::kIdle; }
+  /// Total rounds (collect + writeback) of the last completed read.
+  [[nodiscard]] RoundNumber last_read_rounds() const noexcept { return last_rounds_; }
+  /// The pair selected (line 35) by the last completed read.
+  [[nodiscard]] TsValue last_selected() const noexcept { return csel_; }
+
+  void on_message(ProcessId from, const sim::Message& m) override;
+  void on_timer(sim::TimerId timer) override;
+
+ private:
+  enum class Phase {
+    kIdle,
+    kCollect,       // a round of the repeat loop (lines 22-34)
+    kWriteback1,    // the guarded first writeback round (lines 43-46)
+    kWriteback1Plain,  // writeback(1, csel, {}) of line 49
+    kWriteback2,    // writeback(2, csel, {}) (lines 42, 47, 49)
+  };
+
+  // --- predicates of Figure 7 (lines 1-9) ---
+  [[nodiscard]] const HistorySlot& slot(ProcessId i, Timestamp ts, RoundNumber rnd) const;
+  /// read(c, i): server i reported pair c in slot 1 or 2 (line 7).
+  [[nodiscard]] bool read_pred(const TsValue& c, ProcessId i) const;
+  [[nodiscard]] bool valid1(const TsValue& c, ProcessSet q) const;  // line 3
+  [[nodiscard]] bool valid2(const TsValue& c, ProcessSet q) const;  // line 4
+  [[nodiscard]] bool valid3(const TsValue& c, ProcessSet q) const;  // line 5
+  [[nodiscard]] bool invalid(const TsValue& c) const;               // line 6
+  [[nodiscard]] bool safe(const TsValue& c) const;                  // line 8
+  [[nodiscard]] bool high_cand(const TsValue& c) const;             // line 9
+  /// BCD(c, 1, R) (line 1).
+  [[nodiscard]] bool bcd1(const TsValue& c, RoundNumber r) const;
+  /// BCD(c, 2, R) (line 2): subset of QC'2.
+  [[nodiscard]] QuorumIdSet bcd2(const TsValue& c, RoundNumber r) const;
+
+  /// All distinct pairs appearing in any received snapshot's slot 1 or 2
+  /// (the candidate universe; always includes the initial pair).
+  [[nodiscard]] std::vector<TsValue> candidate_pairs() const;
+
+  /// Quorum ids of class exactly <= r used by BCD's QC_R lookup
+  /// (r = 1 -> QC1, r = 2 -> QC2, r = 3 -> all quorums).
+  [[nodiscard]] std::vector<QuorumId> class_ids(RoundNumber r) const;
+
+  // --- state machine ---
+  void start_collect_round();
+  void maybe_finish_collect_round();
+  void end_collect_round();
+  void after_selection();
+  void start_writeback(RoundNumber wb_round, const QuorumIdSet& set, Phase next_phase);
+  void maybe_finish_writeback();
+  void finish(Value v);
+
+  const RefinedQuorumSystem& rqs_;
+  ProcessSet servers_;
+  Mode mode_;
+
+  DoneFn done_;
+  Phase phase_{Phase::kIdle};
+
+  std::uint64_t read_no_{0};
+  RoundNumber read_rnd_{0};
+  std::map<ProcessId, ServerHistory> history_;  // history[i] (line 51)
+  std::set<QuorumId> responded_;                // Responded (lines 52-53)
+  ProcessSet responded_servers_;                // servers acking any round
+  ProcessSet round_acks_;                       // servers acking this round
+  QuorumIdSet qc2_prime_;                       // QC'2 (lines 30-31)
+  Timestamp highest_ts_{0};
+  bool timer_expired_{true};
+  sim::TimerId timer_{0};
+  TsValue csel_{kInitialPair};
+
+  // Writeback bookkeeping.
+  RoundNumber wb_round_{0};
+  ProcessSet wb_acks_;
+  QuorumIdSet wb_target_;  // X = BCD(csel, 2, 1) for the line 46 check
+
+  RoundNumber total_rounds_{0};
+  RoundNumber last_rounds_{0};
+};
+
+}  // namespace rqs::storage

@@ -1,0 +1,50 @@
+#include "storage/server.hpp"
+
+namespace rqs::storage {
+
+void RqsStorageServer::on_message(ProcessId from, const sim::Message& m) {
+  if (const auto* wr = sim::msg_cast<WrMsg>(m)) {
+    // Lines 3-6 of Figure 6: fill slots 1..rnd, guarding against
+    // overwriting a different pair at the same timestamp; the QC'2 set is
+    // accumulated only in the slot of the message's round.
+    for (RoundNumber rnd = 1; rnd <= wr->rnd; ++rnd) {
+      HistorySlot& s = history_.slot(wr->ts, rnd);
+      const TsValue incoming{wr->ts, wr->value};
+      if (s.is_initial() || s.pair == incoming) {
+        s.pair = incoming;
+        if (rnd == wr->rnd) {
+          s.sets.insert(wr->qc2_set.begin(), wr->qc2_set.end());
+        }
+      }
+    }
+    auto ack = std::make_shared<WrAck>();
+    ack->ts = wr->ts;
+    ack->rnd = wr->rnd;
+    send(from, std::move(ack));
+    return;
+  }
+  if (const auto* rd = sim::msg_cast<RdMsg>(m)) {
+    // Lines 8-9 of Figure 6: reply with the entire history.
+    auto ack = std::make_shared<RdAck>();
+    ack->read_no = rd->read_no;
+    ack->rnd = rd->rnd;
+    ack->history = history_for_reply(from);
+    send(from, std::move(ack));
+    return;
+  }
+}
+
+ByzantineStorageServer::ForgeFn ByzantineStorageServer::forget_everything() {
+  return [](const ServerHistory&, ProcessId) { return ServerHistory{}; };
+}
+
+ByzantineStorageServer::ForgeFn ByzantineStorageServer::fabricate(TsValue pair) {
+  return [pair](const ServerHistory& genuine, ProcessId) {
+    ServerHistory forged = genuine;
+    forged.slot(pair.ts, 1).pair = pair;
+    forged.slot(pair.ts, 2).pair = pair;
+    return forged;
+  };
+}
+
+}  // namespace rqs::storage

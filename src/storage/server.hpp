@@ -1,0 +1,67 @@
+// RQS atomic storage: server automaton (Figure 6) and Byzantine variants.
+#pragma once
+
+#include <functional>
+
+#include "sim/process.hpp"
+#include "storage/messages.hpp"
+
+namespace rqs::storage {
+
+/// A benign storage server (Figure 6). On wr<ts, v, QC'2, rnd> it fills
+/// slots 1..rnd of history row ts (never overwriting a conflicting pair)
+/// and accumulates QC'2 into slot rnd's quorum set; on rd it replies with
+/// its entire history.
+class RqsStorageServer : public sim::Process {
+ public:
+  RqsStorageServer(sim::Simulation& sim, ProcessId id)
+      : sim::Process(sim, id) {}
+
+  void on_message(ProcessId from, const sim::Message& m) override;
+
+  [[nodiscard]] const ServerHistory& history() const noexcept { return history_; }
+  [[nodiscard]] ServerHistory& mutable_history() noexcept { return history_; }
+
+ protected:
+  /// Hook for Byzantine subclasses: the history snapshot actually sent in
+  /// a rd_ack (benign servers return the genuine history).
+  [[nodiscard]] virtual ServerHistory history_for_reply(ProcessId reader) {
+    (void)reader;
+    return history_;
+  }
+
+ private:
+  ServerHistory history_;
+};
+
+/// A Byzantine storage server with a pluggable reply-forging strategy.
+/// It follows the write path of the protocol (so that benign-looking
+/// behaviour is available when the strategy wants it) but answers reads
+/// with whatever the strategy fabricates — including "forgetting" rounds
+/// (the sigma_0 / sigma_1 forgeries of the paper's Theorem 3 executions)
+/// or inventing pairs with arbitrary timestamps.
+class ByzantineStorageServer final : public RqsStorageServer {
+ public:
+  /// Strategy: given the genuine history and the reader id, produce the
+  /// history to report.
+  using ForgeFn = std::function<ServerHistory(const ServerHistory&, ProcessId)>;
+
+  ByzantineStorageServer(sim::Simulation& sim, ProcessId id, ForgeFn forge)
+      : RqsStorageServer(sim, id), forge_(std::move(forge)) {}
+
+  /// Convenience strategies.
+  /// Reports the empty (initial) history — the sigma_0 state forgery.
+  [[nodiscard]] static ForgeFn forget_everything();
+  /// Reports a history containing a fabricated pair in slots 1 and 2.
+  [[nodiscard]] static ForgeFn fabricate(TsValue pair);
+
+ protected:
+  [[nodiscard]] ServerHistory history_for_reply(ProcessId reader) override {
+    return forge_(history(), reader);
+  }
+
+ private:
+  ForgeFn forge_;
+};
+
+}  // namespace rqs::storage

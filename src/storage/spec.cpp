@@ -1,0 +1,92 @@
+#include "storage/spec.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rqs::storage {
+
+std::string AtomicityChecker::Result::to_string() const {
+  if (atomic) return "history is atomic";
+  std::string out;
+  for (const std::string& v : violations) {
+    if (!out.empty()) out += "\n";
+    out += v;
+  }
+  return out;
+}
+
+void AtomicityChecker::add_write(sim::SimTime invoked, sim::SimTime responded,
+                                 Value value) {
+  assert(!is_bottom(value));
+  assert(value_to_index_.find(value) == value_to_index_.end() &&
+         "written values must be unique");
+  writes_.push_back(Op{invoked, responded, value});
+  value_to_index_[value] = writes_.size();  // 1-based
+}
+
+void AtomicityChecker::add_read(sim::SimTime invoked, sim::SimTime responded,
+                                Value returned) {
+  reads_.push_back(Op{invoked, responded, returned});
+}
+
+AtomicityChecker::Result AtomicityChecker::check() const {
+  Result result;
+  auto fail = [&result](std::string msg) {
+    result.atomic = false;
+    result.violations.push_back(std::move(msg));
+  };
+
+  // Resolve each read to a write index.
+  std::vector<std::size_t> read_index(reads_.size());
+  for (std::size_t r = 0; r < reads_.size(); ++r) {
+    const Op& rd = reads_[r];
+    if (is_bottom(rd.value)) {
+      read_index[r] = 0;
+      continue;
+    }
+    const auto it = value_to_index_.find(rd.value);
+    if (it == value_to_index_.end()) {
+      fail("read #" + std::to_string(r) + " returned never-written value " +
+           value_to_string(rd.value));
+      read_index[r] = 0;
+      continue;
+    }
+    read_index[r] = it->second;
+    // (1) the write must have been invoked before the read responded.
+    const Op& wr = writes_[it->second - 1];
+    if (wr.invoked > rd.responded) {
+      fail("read #" + std::to_string(r) + " returned value " +
+           value_to_string(rd.value) + " written only later");
+    }
+  }
+
+  // (2) no stale reads w.r.t. completed writes.
+  for (std::size_t r = 0; r < reads_.size(); ++r) {
+    const Op& rd = reads_[r];
+    std::size_t min_index = 0;
+    for (std::size_t w = 0; w < writes_.size(); ++w) {
+      if (writes_[w].responded <= rd.invoked) min_index = w + 1;
+    }
+    if (read_index[r] < min_index) {
+      fail("read #" + std::to_string(r) + " returned " +
+           value_to_string(rd.value) + " (write #" +
+           std::to_string(read_index[r]) + ") although write #" +
+           std::to_string(min_index) + " completed before it was invoked");
+    }
+  }
+
+  // (3) monotone reads across non-overlapping reads.
+  for (std::size_t a = 0; a < reads_.size(); ++a) {
+    for (std::size_t b = 0; b < reads_.size(); ++b) {
+      if (reads_[a].responded <= reads_[b].invoked &&
+          read_index[b] < read_index[a]) {
+        fail("read inversion: read #" + std::to_string(a) + " -> " +
+             value_to_string(reads_[a].value) + " precedes read #" +
+             std::to_string(b) + " -> " + value_to_string(reads_[b].value));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rqs::storage

@@ -1,0 +1,55 @@
+// Atomicity (linearizability for registers) checker for SWMR histories.
+//
+// Exploits the single-writer structure: writes are totally ordered by their
+// invocation order, and every written value is unique in our harnesses, so
+// each read maps to the index of the write it returns (0 = the initial
+// bottom value). A complete SWMR history is atomic iff for every read r:
+//   (1) the returned value was written by a write invoked before r
+//       responded (or is bottom),
+//   (2) r's write index is >= the index of every write completed before r
+//       was invoked (no stale reads), and
+//   (3) read indices are monotone across non-overlapping reads (no read
+//       inversion / new-old inversion).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace rqs::storage {
+
+class AtomicityChecker {
+ public:
+  /// Records a completed write (writes must be recorded in the writer's
+  /// invocation order; values must be unique across writes).
+  void add_write(sim::SimTime invoked, sim::SimTime responded, Value value);
+
+  /// Records a completed read.
+  void add_read(sim::SimTime invoked, sim::SimTime responded, Value returned);
+
+  struct Result {
+    bool atomic{true};
+    std::vector<std::string> violations;
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  [[nodiscard]] Result check() const;
+
+  [[nodiscard]] std::size_t write_count() const noexcept { return writes_.size(); }
+  [[nodiscard]] std::size_t read_count() const noexcept { return reads_.size(); }
+
+ private:
+  struct Op {
+    sim::SimTime invoked{0};
+    sim::SimTime responded{0};
+    Value value{kBottom};
+  };
+  std::vector<Op> writes_;
+  std::vector<Op> reads_;
+  std::map<Value, std::size_t> value_to_index_;  // write index, 1-based
+};
+
+}  // namespace rqs::storage

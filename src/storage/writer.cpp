@@ -1,0 +1,112 @@
+#include "storage/writer.hpp"
+
+#include <cassert>
+
+namespace rqs::storage {
+
+RqsWriter::RqsWriter(sim::Simulation& sim, ProcessId id,
+                     const RefinedQuorumSystem& rqs, ProcessSet servers)
+    : sim::Process(sim, id), rqs_(rqs), servers_(servers) {}
+
+void RqsWriter::write(Value v, DoneFn done) {
+  assert(!busy() && "one outstanding operation per client");
+  assert(!is_bottom(v));
+  ++ts_;  // line 1: inc(ts)
+  value_ = v;
+  done_ = std::move(done);
+  qc2_prime_.clear();
+  round_ = 1;
+  start_round();
+}
+
+void RqsWriter::start_round() {
+  acked_ = ProcessSet{};
+  auto msg = std::make_shared<WrMsg>();
+  msg->ts = ts_;
+  msg->value = value_;
+  msg->qc2_set = (round_ == 2) ? qc2_prime_ : QuorumIdSet{};  // lines 0, 8, 10
+  msg->rnd = round_;
+  send_all(servers_, std::move(msg));
+  if (round_ < 3) {  // line 11: trigger(timeout) only in rounds 1 and 2
+    timer_expired_ = false;
+    timer_ = set_timer(2 * sim().delta());
+  } else {
+    timer_expired_ = true;
+  }
+}
+
+void RqsWriter::on_message(ProcessId from, const sim::Message& m) {
+  const auto* ack = sim::msg_cast<WrAck>(m);
+  if (ack == nullptr || round_ == 0) return;
+  if (ack->ts != ts_ || ack->rnd != round_) return;
+  if (!servers_.contains(from)) return;
+  acked_.insert(from);
+  maybe_finish_round();
+}
+
+void RqsWriter::on_timer(sim::TimerId timer) {
+  if (timer != timer_) return;
+  timer_expired_ = true;
+  maybe_finish_round();
+}
+
+void RqsWriter::maybe_finish_round() {
+  // Line 12: wait for acks from some quorum AND timeout expiration.
+  if (!timer_expired_) return;
+  const bool some_quorum_acked = [&] {
+    for (const Quorum& q : rqs_.quorums()) {
+      if (q.set.subset_of(acked_)) return true;
+    }
+    return false;
+  }();
+  if (!some_quorum_acked) return;
+
+  switch (round_) {
+    case 1: {
+      // Line 3: a class 1 quorum acked => single-round write.
+      for (const QuorumId q1 : rqs_.class1_ids()) {
+        if (rqs_.quorum_set(q1).subset_of(acked_)) {
+          complete();
+          return;
+        }
+      }
+      // Lines 4-5: remember the class 2 quorums that acked round 1.
+      qc2_prime_.clear();
+      for (const QuorumId q2 : rqs_.class2_ids()) {
+        if (rqs_.quorum_set(q2).subset_of(acked_)) qc2_prime_.insert(q2);
+      }
+      round_ = 2;
+      start_round();  // line 6
+      return;
+    }
+    case 2: {
+      // Line 7: acks from some quorum of QC'2 => two-round write.
+      for (const QuorumId q2 : qc2_prime_) {
+        if (rqs_.quorum_set(q2).subset_of(acked_)) {
+          complete();
+          return;
+        }
+      }
+      qc2_prime_.clear();  // line 8
+      round_ = 3;
+      start_round();
+      return;
+    }
+    case 3:
+      complete();  // line 9
+      return;
+    default:
+      return;
+  }
+}
+
+void RqsWriter::complete() {
+  last_rounds_ = round_;
+  round_ = 0;
+  if (!timer_expired_) cancel_timer(timer_);
+  DoneFn done = std::move(done_);
+  done_ = nullptr;
+  if (done) done();
+}
+
+}  // namespace rqs::storage

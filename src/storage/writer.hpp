@@ -1,0 +1,62 @@
+// RQS atomic storage: writer automaton (Figure 5).
+//
+// A write proceeds in at most three rounds. In round 1 the writer sends
+// wr<ts, v, {}, 1> to all servers and waits for acks from some quorum AND
+// the expiration of a 2*Delta timer; if a class 1 quorum acked, the write
+// completes in one round. Otherwise the class 2 quorums that acked round 1
+// are remembered in QC'2 and shipped inside the round 2 message; if some
+// quorum of QC'2 acks round 2 the write completes in two rounds; otherwise
+// a third round against any quorum completes it.
+#pragma once
+
+#include <functional>
+
+#include "core/rqs.hpp"
+#include "sim/process.hpp"
+#include "storage/messages.hpp"
+
+namespace rqs::storage {
+
+class RqsWriter final : public sim::Process {
+ public:
+  using DoneFn = std::function<void()>;
+
+  /// `servers` are the processes forming the quorum system; RQS element i
+  /// must be the process with id i.
+  RqsWriter(sim::Simulation& sim, ProcessId id, const RefinedQuorumSystem& rqs,
+            ProcessSet servers);
+
+  /// Starts write(v); `done` fires at the response step. At most one
+  /// operation may be outstanding (the paper's well-formedness).
+  void write(Value v, DoneFn done);
+
+  [[nodiscard]] bool busy() const noexcept { return round_ != 0; }
+  /// Rounds taken by the last completed write (1, 2 or 3).
+  [[nodiscard]] RoundNumber last_write_rounds() const noexcept { return last_rounds_; }
+  /// The writer's current local timestamp.
+  [[nodiscard]] Timestamp timestamp() const noexcept { return ts_; }
+
+  void on_message(ProcessId from, const sim::Message& m) override;
+  void on_timer(sim::TimerId timer) override;
+
+ private:
+  void start_round();
+  void maybe_finish_round();
+  void complete();
+
+  const RefinedQuorumSystem& rqs_;
+  ProcessSet servers_;
+
+  Timestamp ts_{0};
+  Value value_{kBottom};
+  DoneFn done_;
+
+  RoundNumber round_{0};  // 0 = idle
+  ProcessSet acked_;      // servers that acked the current round
+  QuorumIdSet qc2_prime_; // the paper's QC'2
+  bool timer_expired_{true};
+  sim::TimerId timer_{0};
+  RoundNumber last_rounds_{0};
+};
+
+}  // namespace rqs::storage

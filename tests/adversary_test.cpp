@@ -1,0 +1,131 @@
+// Unit tests for adversary structures (Definition 1) and the basic/large
+// subset notions (Definition 5).
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/combinatorics.hpp"
+
+namespace rqs {
+namespace {
+
+TEST(AdversaryTest, ThresholdContains) {
+  const Adversary b = Adversary::threshold(7, 2);
+  EXPECT_TRUE(b.contains(ProcessSet{}));
+  EXPECT_TRUE(b.contains(ProcessSet{3}));
+  EXPECT_TRUE(b.contains(ProcessSet{1, 6}));
+  EXPECT_FALSE(b.contains(ProcessSet{0, 1, 2}));
+}
+
+TEST(AdversaryTest, ThresholdZeroIsCrashOnly) {
+  const Adversary b = Adversary::threshold(5, 0);
+  EXPECT_TRUE(b.contains(ProcessSet{}));
+  EXPECT_FALSE(b.contains(ProcessSet{0}));
+  // Basic = non-empty; large = non-empty.
+  EXPECT_FALSE(b.is_basic(ProcessSet{}));
+  EXPECT_TRUE(b.is_basic(ProcessSet{4}));
+  EXPECT_FALSE(b.is_large(ProcessSet{}));
+  EXPECT_TRUE(b.is_large(ProcessSet{4}));
+}
+
+TEST(AdversaryTest, NoneContainsNothing) {
+  const Adversary b = Adversary::none(4);
+  EXPECT_FALSE(b.contains(ProcessSet{}));
+  EXPECT_FALSE(b.contains(ProcessSet{0}));
+  EXPECT_TRUE(b.is_basic(ProcessSet{}));
+  EXPECT_TRUE(b.is_large(ProcessSet{}));  // vacuously: no pairs to cover it
+}
+
+TEST(AdversaryTest, GeneralDownwardClosure) {
+  const Adversary b{6, {ProcessSet{0, 1}, ProcessSet{2, 3}}};
+  EXPECT_TRUE(b.contains(ProcessSet{}));
+  EXPECT_TRUE(b.contains(ProcessSet{0}));
+  EXPECT_TRUE(b.contains(ProcessSet{0, 1}));
+  EXPECT_TRUE(b.contains(ProcessSet{2, 3}));
+  EXPECT_FALSE(b.contains(ProcessSet{0, 2}));
+  EXPECT_FALSE(b.contains(ProcessSet{0, 1, 2}));
+}
+
+TEST(AdversaryTest, MaximalNormalization) {
+  const Adversary b{5, {ProcessSet{0}, ProcessSet{0, 1}, ProcessSet{0, 1},
+                        ProcessSet{2}}};
+  const auto maximal = b.maximal_elements();
+  EXPECT_EQ(maximal.size(), 2u);
+  EXPECT_TRUE(b.contains(ProcessSet{0, 1}));
+  EXPECT_TRUE(b.contains(ProcessSet{2}));
+  EXPECT_FALSE(b.contains(ProcessSet{1, 2}));
+}
+
+TEST(AdversaryTest, ThresholdMaximalElements) {
+  const Adversary b = Adversary::threshold(5, 2);
+  const auto maximal = b.maximal_elements();
+  EXPECT_EQ(maximal.size(), binomial(5, 2));
+  for (const ProcessSet m : maximal) EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(AdversaryTest, ThresholdLargeSets) {
+  const Adversary b = Adversary::threshold(9, 2);
+  EXPECT_FALSE(b.is_large(ProcessSet{0, 1, 2, 3}));           // 4 <= 2k
+  EXPECT_TRUE(b.is_large(ProcessSet{0, 1, 2, 3, 4}));         // 5 = 2k+1
+}
+
+TEST(AdversaryTest, GeneralLargeSets) {
+  // Example 7's adversary.
+  const Adversary b{6, {ProcessSet{0, 1}, ProcessSet{2, 3}, ProcessSet{1, 3}}};
+  // {0,1,2,3} is covered by {0,1} u {2,3}: not large.
+  EXPECT_FALSE(b.is_large(ProcessSet{0, 1, 2, 3}));
+  // {1,3,4} escapes every union of two elements.
+  EXPECT_TRUE(b.is_large(ProcessSet{1, 3, 4}));
+  // Basic vs large: {0,2} is basic but also large here.
+  EXPECT_TRUE(b.is_basic(ProcessSet{0, 2}));
+  // {0,1,3} is covered by {0,1} u {1,3}: not large, yet basic.
+  EXPECT_TRUE(b.is_basic(ProcessSet{0, 1, 3}));
+  EXPECT_FALSE(b.is_large(ProcessSet{0, 1, 3}));
+}
+
+TEST(AdversaryTest, ForEachElementEnumeratesClosure) {
+  const Adversary b{5, {ProcessSet{0, 1}, ProcessSet{3}}};
+  std::set<ProcessSet> seen;
+  b.for_each_element([&](ProcessSet e) { seen.insert(e); });
+  // Closure: {}, {0}, {1}, {0,1}, {3}.
+  EXPECT_EQ(seen.size(), 5u);
+  for (const ProcessSet e : seen) EXPECT_TRUE(b.contains(e));
+}
+
+TEST(AdversaryTest, ForEachElementThreshold) {
+  const Adversary b = Adversary::threshold(5, 1);
+  std::set<ProcessSet> seen;
+  b.for_each_element([&](ProcessSet e) { seen.insert(e); });
+  EXPECT_EQ(seen.size(), 6u);  // {} + five singletons
+}
+
+TEST(AdversaryTest, ForEachElementEarlyStop) {
+  const Adversary b = Adversary::threshold(6, 3);
+  std::size_t count = 0;
+  const bool completed = b.for_each_element([&](ProcessSet) { return ++count < 4; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(AdversaryTest, LargeImpliesBasicWhenNonTrivial) {
+  // For any adversary containing the empty set, a large set is basic:
+  // X not subset of B1 u B2 with B2 = {} gives X not subset of B1.
+  const Adversary b{6, {ProcessSet{}, ProcessSet{0, 1}, ProcessSet{2, 3},
+                        ProcessSet{1, 3}}};
+  for_each_subset(ProcessSet::universe(6), [&](ProcessSet x) {
+    if (b.is_large(x)) {
+      EXPECT_TRUE(b.is_basic(x)) << x.to_string();
+    }
+  });
+}
+
+TEST(AdversaryTest, ToStringMentionsStructure) {
+  EXPECT_NE(Adversary::threshold(7, 2).to_string().find("B_2"), std::string::npos);
+  const Adversary g{4, {ProcessSet{0, 1}}};
+  EXPECT_NE(g.to_string().find("{0,1}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rqs

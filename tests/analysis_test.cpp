@@ -1,0 +1,130 @@
+// Tests for the availability / load analysis module (the Section 6 open
+// direction instantiated on this library's systems).
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(AvailabilityTest, PerfectProcessesAlwaysAvailable) {
+  EXPECT_NEAR(availability(make_fig1_fast5(), 0.0), 1.0, kTol);
+  EXPECT_NEAR(availability(make_3t1_instantiation(1), 0.0), 1.0, kTol);
+}
+
+TEST(AvailabilityTest, DeadProcessesNeverAvailable) {
+  EXPECT_NEAR(availability(make_fig1_fast5(), 1.0), 0.0, kTol);
+}
+
+TEST(AvailabilityTest, MajorityFormulaMatches) {
+  // For 3-of-5 quorums, availability = P[#failures <= 2] (binomial).
+  const double p = 0.2;
+  const RefinedQuorumSystem sys = make_fig1_fast5();
+  double expected = 0.0;
+  for (int f = 0; f <= 2; ++f) {
+    double term = 1.0;
+    // C(5, f) p^f (1-p)^(5-f)
+    const double comb = (f == 0) ? 1 : (f == 1) ? 5 : 10;
+    term = comb * std::pow(p, f) * std::pow(1 - p, 5 - f);
+    expected += term;
+  }
+  EXPECT_NEAR(availability(sys, p), expected, 1e-9);
+}
+
+TEST(AvailabilityTest, Class1NeedsMoreProcesses) {
+  // P[class 1 available] <= P[class 2 available] <= P[any quorum].
+  const RefinedQuorumSystem sys = make_3t1_instantiation(1);
+  for (const double p : {0.05, 0.2, 0.5}) {
+    const double a1 = availability(sys, p, QuorumClass::Class1);
+    const double a2 = availability(sys, p, QuorumClass::Class2);
+    const double a3 = availability(sys, p, QuorumClass::Class3);
+    EXPECT_LE(a1, a2 + kTol);
+    EXPECT_LE(a2, a3 + kTol);
+  }
+}
+
+TEST(AvailabilityTest, Class1Of3t1IsAllUp) {
+  // The only class 1 quorum of the 3t+1 instantiation is the full set.
+  const RefinedQuorumSystem sys = make_3t1_instantiation(1);
+  const double p = 0.1;
+  EXPECT_NEAR(availability(sys, p, QuorumClass::Class1), std::pow(0.9, 4), kTol);
+}
+
+TEST(ExpectedLatencyTest, ZeroFailureProbabilityGivesBestCase) {
+  const ExpectedLatency e = expected_latency(make_3t1_instantiation(1), 0.0);
+  EXPECT_NEAR(e.storage_rounds, 1.0, kTol);
+  EXPECT_NEAR(e.consensus_delays, 2.0, kTol);
+  EXPECT_NEAR(e.unavailable, 0.0, kTol);
+}
+
+TEST(ExpectedLatencyTest, LatencyDegradesWithFailureProbability) {
+  const RefinedQuorumSystem sys = make_3t1_instantiation(1);
+  double prev = 0.0;
+  for (const double p : {0.0, 0.1, 0.3, 0.5}) {
+    const ExpectedLatency e = expected_latency(sys, p);
+    EXPECT_GE(e.storage_rounds + kTol, prev);
+    prev = e.storage_rounds;
+    EXPECT_GE(e.consensus_delays, e.storage_rounds + 1.0 - kTol);
+  }
+}
+
+TEST(ExpectedLatencyTest, DisseminatingIsAlwaysSlow) {
+  const ExpectedLatency e = expected_latency(make_disseminating(5, 1, 1), 0.1);
+  EXPECT_NEAR(e.storage_rounds, 3.0, kTol);
+  EXPECT_NEAR(e.consensus_delays, 4.0, kTol);
+}
+
+TEST(LoadTest, UniformStrategySumsToOne) {
+  const RefinedQuorumSystem sys = make_fig1_fast5();
+  const Strategy w = uniform_strategy(sys);
+  double sum = 0.0;
+  for (const double x : w) sum += x;
+  EXPECT_NEAR(sum, 1.0, kTol);
+}
+
+TEST(LoadTest, SingletonSystemHasFullLoad) {
+  std::vector<Quorum> quorums = {Quorum{ProcessSet{0, 1, 2}, QuorumClass::Class3}};
+  const RefinedQuorumSystem sys{Adversary::threshold(3, 0), std::move(quorums)};
+  EXPECT_NEAR(load_of(sys, uniform_strategy(sys)), 1.0, kTol);
+  EXPECT_NEAR(load_lower_bound(sys), 1.0, kTol);
+}
+
+TEST(LoadTest, MajorityLoadNearKnownOptimum) {
+  // Naor-Wool: for majorities of n the optimal load is about 1/2 (exactly
+  // (n+1)/(2n) with a balanced strategy). The balanced strategy must get
+  // within a reasonable factor and never beat the lower bound.
+  const RefinedQuorumSystem sys = make_crash_majority(5);
+  const Strategy w = balanced_strategy(sys);
+  const double load = load_of(sys, w);
+  const double lb = load_lower_bound(sys);
+  EXPECT_GE(load, lb - kTol);
+  EXPECT_LE(load, 0.75);  // 3-of-5 uniform already achieves 0.6
+}
+
+TEST(LoadTest, BalancedBeatsOrMatchesUniform) {
+  for (const RefinedQuorumSystem& sys :
+       {make_fig1_fast5(), make_3t1_instantiation(1), make_example7()}) {
+    const double uniform = load_of(sys, uniform_strategy(sys));
+    const double balanced = load_of(sys, balanced_strategy(sys));
+    EXPECT_LE(balanced, uniform + kTol) << sys.to_string();
+    EXPECT_GE(balanced, load_lower_bound(sys) - kTol);
+  }
+}
+
+TEST(LoadTest, FastQuorumsCostLoad) {
+  // Restricting the strategy to class 1 quorums (the fast path) loads
+  // processes at least as much as spreading over all quorums.
+  const RefinedQuorumSystem sys = make_fig1_fast5();
+  const double fast_load = load_of(sys, uniform_strategy(sys, QuorumClass::Class1));
+  const double all_load = load_of(sys, uniform_strategy(sys, QuorumClass::Class3));
+  EXPECT_GE(fast_load, all_load - kTol);
+}
+
+}  // namespace
+}  // namespace rqs

@@ -1,0 +1,137 @@
+// Tests for classification search and small-system enumeration
+// (tooling for the Section 6 open question).
+#include "core/classification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.hpp"
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+TEST(ClassifyTest, RejectsNonQuorumSystems) {
+  const std::vector<ProcessSet> disjoint = {ProcessSet{0, 1}, ProcessSet{2, 3}};
+  const ClassificationResult r = classify(disjoint, Adversary::threshold(4, 0));
+  EXPECT_FALSE(r.property1_ok);
+  EXPECT_EQ(r.class1_count, 0u);
+}
+
+TEST(ClassifyTest, MajoritySystemHasNoFastClassesUnderByzantine) {
+  // Majorities of 5 against B_1 do not even satisfy P1.
+  std::vector<ProcessSet> majorities;
+  const RefinedQuorumSystem sys = make_crash_majority(5);
+  for (const Quorum& q : sys.quorums()) majorities.push_back(q.set);
+  const ClassificationResult r = classify(majorities, Adversary::threshold(5, 1));
+  EXPECT_FALSE(r.property1_ok);
+}
+
+TEST(ClassifyTest, CrashMajoritiesOfThreeOutOfFive) {
+  // 3-subsets of 5 under crash adversary: P1 holds. No *pair* of distinct
+  // 3-subsets can share class 1 (their intersection misses some quorum,
+  // Fig. 2(a)), but a singleton QC1 is P2-valid (Q1 n Q1 n Q = Q1 n Q is
+  // non-empty by P1). With k = 0 everything is class 2 (P3a is free).
+  std::vector<ProcessSet> sets;
+  for_each_subset_of_size(ProcessSet::universe(5), 3,
+                          [&](ProcessSet s) { sets.push_back(s); });
+  ASSERT_EQ(sets.size(), 10u);
+  const ClassificationResult r = classify(sets, Adversary::threshold(5, 0));
+  ASSERT_TRUE(r.property1_ok);
+  EXPECT_EQ(r.class1_count, 1u);
+  EXPECT_EQ(r.class2_count, 10u);
+}
+
+TEST(ClassifyTest, NoTwoSmallQuorumsShareClass1) {
+  // Complements Fig. 2(a): every QC1 with two distinct 3-subsets of a
+  // 5-universe violates P2.
+  const std::vector<ProcessSet> sets = {ProcessSet{0, 1, 2}, ProcessSet{0, 1, 3},
+                                        ProcessSet{2, 3, 4}};
+  const Adversary adv = Adversary::threshold(5, 0);
+  std::vector<Quorum> quorums;
+  for (const ProcessSet& s : sets) quorums.push_back(Quorum{s, QuorumClass::Class1});
+  const RefinedQuorumSystem all_fast{adv, std::move(quorums)};
+  CheckResult r;
+  EXPECT_FALSE(all_fast.check_property2(r, 0));
+}
+
+TEST(ClassifyTest, RecoversFig3Classification) {
+  const std::vector<ProcessSet> sets = {
+      ProcessSet{4, 5, 6, 7}, ProcessSet{0, 1, 2, 3, 6, 7},
+      ProcessSet{0, 1, 2, 4, 5}, ProcessSet{2, 3, 4, 5, 6}};
+  const ClassificationResult r = classify(sets, Adversary::threshold(8, 1));
+  ASSERT_TRUE(r.property1_ok);
+  EXPECT_EQ(r.class1_count, 1u);
+  EXPECT_EQ(r.class2_count, 2u);
+}
+
+TEST(ClassifyTest, ClassAssignmentIsActuallyValid) {
+  const std::vector<ProcessSet> sets = {
+      ProcessSet{1, 3, 4, 5}, ProcessSet{0, 1, 2, 3, 4},
+      ProcessSet{0, 1, 2, 3, 5}};
+  const Adversary adv{6, {ProcessSet{0, 1}, ProcessSet{2, 3}, ProcessSet{1, 3}}};
+  const ClassificationResult r = classify(sets, adv);
+  ASSERT_TRUE(r.property1_ok);
+  std::vector<Quorum> quorums;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    quorums.push_back(Quorum{sets[i], r.classes[i]});
+  }
+  EXPECT_TRUE(RefinedQuorumSystem(adv, std::move(quorums)).valid());
+}
+
+TEST(CountClassificationsTest, TrivialAlwaysCounted) {
+  // Any P1 system admits at least the all-class-3 classification.
+  const std::vector<ProcessSet> sets = {ProcessSet{0, 1, 2}};
+  EXPECT_GE(count_classifications(sets, Adversary::threshold(3, 0)), 1u);
+}
+
+TEST(CountClassificationsTest, ZeroForBrokenP1) {
+  const std::vector<ProcessSet> sets = {ProcessSet{0}, ProcessSet{1}};
+  EXPECT_EQ(count_classifications(sets, Adversary::threshold(2, 0)), 0u);
+}
+
+TEST(CountClassificationsTest, SingleFullQuorum) {
+  // One quorum = everyone, crash adversary: assignments are
+  // (QC1, QC2) in {({}, {}), ({}, {Q}), ({Q}, {Q})} — all valid.
+  const std::vector<ProcessSet> sets = {ProcessSet::universe(3)};
+  EXPECT_EQ(count_classifications(sets, Adversary::threshold(3, 0)), 3u);
+}
+
+TEST(CountClassificationsTest, Example7HasMultipleValidAssignments) {
+  const std::vector<ProcessSet> sets = {
+      ProcessSet{1, 3, 4, 5}, ProcessSet{0, 1, 2, 3, 4},
+      ProcessSet{0, 1, 2, 3, 5}};
+  const Adversary adv{6, {ProcessSet{0, 1}, ProcessSet{2, 3}, ProcessSet{1, 3}}};
+  const std::uint64_t count = count_classifications(sets, adv);
+  // At least: all-3, paper's assignment, and its weakenings.
+  EXPECT_GE(count, 3u);
+}
+
+TEST(CountP1CollectionsTest, TinyUniverse) {
+  // n = 2, crash adversary: candidate quorums {0}, {1}, {0,1}; collections
+  // must pairwise intersect outside B = {{}}: {{0}}, {{1}}, {{0,1}},
+  // {{0},{0,1}}, {{1},{0,1}}, and not {{0},{1}}.
+  const std::uint64_t count =
+      count_p1_collections(2, Adversary::threshold(2, 0), 2);
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(CountP1CollectionsTest, MonotoneInBudget) {
+  const Adversary adv = Adversary::threshold(4, 0);
+  const std::uint64_t one = count_p1_collections(4, adv, 1);
+  const std::uint64_t two = count_p1_collections(4, adv, 2);
+  const std::uint64_t three = count_p1_collections(4, adv, 3);
+  EXPECT_LE(one, two);
+  EXPECT_LE(two, three);
+  EXPECT_EQ(one, 15u);  // non-empty subsets of a 4-universe
+}
+
+TEST(CountP1CollectionsTest, ByzantineShrinksTheSpace) {
+  const std::uint64_t crash =
+      count_p1_collections(4, Adversary::threshold(4, 0), 2);
+  const std::uint64_t byz =
+      count_p1_collections(4, Adversary::threshold(4, 1), 2);
+  EXPECT_GT(crash, byz);
+}
+
+}  // namespace
+}  // namespace rqs

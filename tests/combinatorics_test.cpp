@@ -1,0 +1,88 @@
+// Unit tests for the subset enumeration helpers.
+#include "common/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rqs {
+namespace {
+
+TEST(CombinatoricsTest, BinomialSmall) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(5, 3), 10u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+  EXPECT_EQ(binomial(10, 4), 210u);
+}
+
+TEST(CombinatoricsTest, SubsetsOfSizeCount) {
+  for (std::size_t n = 0; n <= 8; ++n) {
+    const ProcessSet base = ProcessSet::universe(n);
+    for (std::size_t k = 0; k <= n + 1; ++k) {
+      std::size_t count = 0;
+      for_each_subset_of_size(base, k, [&](ProcessSet) { ++count; });
+      EXPECT_EQ(count, binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, SubsetsOfSizeDistinctAndSized) {
+  const ProcessSet base{1, 3, 5, 7};
+  std::set<ProcessSet> seen;
+  for_each_subset_of_size(base, 2, [&](ProcessSet s) {
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.subset_of(base));
+    seen.insert(s);
+  });
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(CombinatoricsTest, SubsetsOfSizeEarlyStop) {
+  std::size_t count = 0;
+  const bool completed = for_each_subset_of_size(
+      ProcessSet::universe(6), 3, [&](ProcessSet) { return ++count < 5; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(CombinatoricsTest, AllSubsetsCount) {
+  const ProcessSet base{0, 2, 4};
+  std::size_t count = 0;
+  for_each_subset(base, [&](ProcessSet s) {
+    EXPECT_TRUE(s.subset_of(base));
+    ++count;
+  });
+  EXPECT_EQ(count, 8u);  // 2^3 including empty and base
+}
+
+TEST(CombinatoricsTest, AllSubsetsOfEmpty) {
+  std::size_t count = 0;
+  for_each_subset(ProcessSet{}, [&](ProcessSet s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(CombinatoricsTest, AllSubsetsEarlyStop) {
+  std::size_t count = 0;
+  const bool completed =
+      for_each_subset(ProcessSet::universe(5), [&](ProcessSet) { return ++count < 3; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(CombinatoricsTest, SizeZeroSubset) {
+  std::size_t count = 0;
+  for_each_subset_of_size(ProcessSet::universe(4), 0, [&](ProcessSet s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace rqs

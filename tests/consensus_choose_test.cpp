@@ -1,0 +1,196 @@
+// Unit tests for the choose() function (Figure 13) and its candidate
+// predicates, on hand-built vProofs — exactly the scenarios discussed in
+// Section 4.2's safety narrative.
+#include "consensus/choose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+
+namespace rqs::consensus {
+namespace {
+
+// Helpers to build acks.
+NewViewAckData prepared_ack(ViewNumber ack_view, Value v, ViewNumber w) {
+  NewViewAckData a;
+  a.view = ack_view;
+  a.prep = v;
+  a.prepview = {w};
+  return a;
+}
+
+NewViewAckData updated1_ack(ViewNumber ack_view, Value v, ViewNumber w,
+                            QuorumId q2) {
+  NewViewAckData a = prepared_ack(ack_view, v, w);
+  a.update[1] = v;
+  a.updateview[1] = {w};
+  a.updateq[{1, w}] = {q2};
+  return a;
+}
+
+NewViewAckData updated2_ack(ViewNumber ack_view, Value v, ViewNumber w,
+                            QuorumId q2) {
+  NewViewAckData a = updated1_ack(ack_view, v, w, q2);
+  a.update[2] = v;
+  a.updateview[2] = {w};
+  a.updateq[{2, w}] = {q2};
+  return a;
+}
+
+class ChooseTest : public ::testing::Test {
+ protected:
+  // The 3t+1 system with t = 1: acceptors {0,1,2,3}; QC1 = {full set};
+  // quorums = all 3-subsets + full set, all class 2.
+  const RefinedQuorumSystem rqs_ = make_3t1_instantiation(1);
+  const ProcessSet full_{0, 1, 2, 3};
+  const QuorumId q012_ = *rqs_.find(ProcessSet{0, 1, 2});
+};
+
+TEST_F(ChooseTest, NoCandidatesKeepsProposerValue) {
+  VProof vproof;
+  for (ProcessId a : ProcessSet{0, 1, 2}) {
+    NewViewAckData ack;
+    ack.view = 1;
+    vproof[a] = ack;
+  }
+  const ChooseResult r = choose(42, vproof, ProcessSet{0, 1, 2}, rqs_);
+  EXPECT_FALSE(r.abort);
+  EXPECT_EQ(r.value, 42);
+}
+
+TEST_F(ChooseTest, Cand2ViaClass1Intersection) {
+  // All four acceptors report they prepared 7 in view 0: Cand2(7, 0).
+  VProof vproof;
+  for (ProcessId a : full_) vproof[a] = prepared_ack(1, 7, 0);
+  EXPECT_TRUE(cand2(7, 0, vproof, full_, rqs_));
+  EXPECT_FALSE(cand2(8, 0, vproof, full_, rqs_));
+  EXPECT_FALSE(cand2(7, 1, vproof, full_, rqs_));
+  const ChooseResult r = choose(42, vproof, full_, rqs_);
+  EXPECT_FALSE(r.abort);
+  EXPECT_EQ(r.value, 7);
+}
+
+TEST_F(ChooseTest, Cand2ToleratesAdversaryGap) {
+  // Only 3 of 4 acceptors participate (Q = {0,1,2}) and one of those (2)
+  // reports something else: with B = {2}, (Q1 n Q) \ B = {0,1} still
+  // witnesses Cand2.
+  VProof vproof;
+  vproof[0] = prepared_ack(1, 7, 0);
+  vproof[1] = prepared_ack(1, 7, 0);
+  vproof[2] = prepared_ack(1, 9, 0);
+  EXPECT_TRUE(cand2(7, 0, vproof, ProcessSet{0, 1, 2}, rqs_));
+  // And symmetrically for 9 with B = {0} or {1}... requires two members:
+  // (Q1 n Q) \ B has 2 members, only one reports 9.
+  EXPECT_FALSE(cand2(9, 0, vproof, ProcessSet{0, 1, 2}, rqs_));
+}
+
+TEST_F(ChooseTest, Cand4FromSingleWitness) {
+  VProof vproof;
+  vproof[0] = updated2_ack(1, 5, 0, q012_);
+  vproof[1] = prepared_ack(1, 5, 0);
+  vproof[2] = prepared_ack(1, 5, 0);
+  EXPECT_TRUE(cand4(5, 0, vproof, ProcessSet{0, 1, 2}));
+  EXPECT_FALSE(cand4(5, 1, vproof, ProcessSet{0, 1, 2}));
+  const ChooseResult r = choose(42, vproof, ProcessSet{0, 1, 2}, rqs_);
+  EXPECT_FALSE(r.abort);
+  EXPECT_EQ(r.value, 5);  // line 14: Cand4 has top priority
+}
+
+TEST_F(ChooseTest, Cand3AWinsImmediately) {
+  // Q = full set; acceptors {0,1,2} report they 1-updated 5 in view 0 with
+  // quorum {0,1,2}; with B = {3}: members (Q2 n Q) \ B = {0,1,2} all
+  // report, and P3a({0,1,2}, full, {3}) holds (remainder {0,1,2} has 3 >
+  // 2k elements... basic). Hence Cand3(5, 0, 'a') and choose returns 5.
+  VProof vproof;
+  for (ProcessId a : ProcessSet{0, 1, 2}) {
+    vproof[a] = updated1_ack(1, 5, 0, q012_);
+  }
+  vproof[3] = prepared_ack(1, 9, 0);  // a conflicting prepare is outvoted
+  EXPECT_TRUE(cand3(5, 0, 'a', vproof, full_, rqs_));
+  const ChooseResult r = choose(9, vproof, full_, rqs_);
+  EXPECT_FALSE(r.abort);
+  EXPECT_EQ(r.value, 5);
+}
+
+TEST_F(ChooseTest, HighestViewWins) {
+  // Value 5 prepared in view 0 by everyone, but value 6 was prepared by
+  // everyone in view 2: viewmax = 2 and 6 is chosen.
+  VProof vproof;
+  for (ProcessId a : full_) {
+    NewViewAckData ack = prepared_ack(3, 6, 2);
+    vproof[a] = ack;
+  }
+  const ChooseResult r = choose(42, vproof, full_, rqs_);
+  EXPECT_FALSE(r.abort);
+  EXPECT_EQ(r.value, 6);
+}
+
+TEST_F(ChooseTest, AbortOnConflictingCand3b) {
+  // Two acceptors claim contradictory 1-updates in the same view with
+  // quorums that only support the 'b' variant: by Lemma 28's argument
+  // this proves a Byzantine acceptor inside Q, and choose() aborts.
+  // Build on Example 7 where 'b'-only situations exist.
+  const RefinedQuorumSystem ex7 = make_example7();
+  const ProcessSet q = ProcessSet{0, 1, 2, 3, 5};  // Q2'
+  const QuorumId q2 = *ex7.find(ProcessSet{0, 1, 2, 3, 4});
+  VProof vproof;
+  // Acceptors 0,1 claim value 5; acceptors 2,3 claim value 6 — both with
+  // quorum Q2 in view 0. Members (Q2 n Q) \ B for B = {2,3} are {0,1}
+  // (consistent for 5); for B = {0,1} they are {2,3} (consistent for 6).
+  vproof[0] = updated1_ack(1, 5, 0, q2);
+  vproof[1] = updated1_ack(1, 5, 0, q2);
+  vproof[2] = updated1_ack(1, 6, 0, q2);
+  vproof[3] = updated1_ack(1, 6, 0, q2);
+  vproof[5] = NewViewAckData{};
+  vproof[5].view = 1;
+  EXPECT_TRUE(cand3(5, 0, 'b', vproof, q, ex7));
+  EXPECT_TRUE(cand3(6, 0, 'b', vproof, q, ex7));
+  const ChooseResult r = choose(42, vproof, q, ex7);
+  EXPECT_TRUE(r.abort);
+}
+
+TEST_F(ChooseTest, Valid3RejectsUnconfirmedPrepares) {
+  // Cand3(v, w, 'b') holds but some benign acceptor of Q2 n Q reports a
+  // different prepared value in view w itself: Valid3 fails => abort.
+  const RefinedQuorumSystem ex7 = make_example7();
+  const ProcessSet q = ProcessSet{0, 1, 2, 3, 5};
+  const QuorumId q2 = *ex7.find(ProcessSet{0, 1, 2, 3, 4});
+  VProof vproof;
+  vproof[0] = updated1_ack(1, 5, 0, q2);
+  vproof[1] = updated1_ack(1, 5, 0, q2);
+  // Acceptors 2,3 report they prepared a DIFFERENT value in view 0 (not
+  // one above view 0), contradicting the claim that all of Q2 prepared 5.
+  vproof[2] = prepared_ack(1, 6, 0);
+  vproof[3] = prepared_ack(1, 6, 0);
+  vproof[5] = NewViewAckData{};
+  vproof[5].view = 1;
+  EXPECT_TRUE(cand3(5, 0, 'b', vproof, q, ex7));
+  EXPECT_FALSE(valid3(5, 0, 'b', vproof, q, ex7));
+  const ChooseResult r = choose(42, vproof, q, ex7);
+  EXPECT_TRUE(r.abort);
+}
+
+TEST_F(ChooseTest, Valid3AcceptsHigherViewPrepares) {
+  // Same as above but 2,3 prepared their other value in a HIGHER view:
+  // the Valid3 escape clause applies and 5 is chosen.
+  const RefinedQuorumSystem ex7 = make_example7();
+  const ProcessSet q = ProcessSet{0, 1, 2, 3, 5};
+  const QuorumId q2 = *ex7.find(ProcessSet{0, 1, 2, 3, 4});
+  VProof vproof;
+  vproof[0] = updated1_ack(2, 5, 0, q2);
+  vproof[1] = updated1_ack(2, 5, 0, q2);
+  vproof[2] = prepared_ack(2, 6, 1);
+  vproof[3] = prepared_ack(2, 6, 1);
+  vproof[5] = NewViewAckData{};
+  vproof[5].view = 2;
+  EXPECT_TRUE(cand3(5, 0, 'b', vproof, q, ex7));
+  EXPECT_TRUE(valid3(5, 0, 'b', vproof, q, ex7));
+  // Note: 6 prepared in view 1 > 0 is NOT a candidate (prepares alone are
+  // candidates only via Cand2, which needs a class-1 intersection).
+  const ChooseResult r = choose(42, vproof, q, ex7);
+  EXPECT_FALSE(r.abort);
+  EXPECT_EQ(r.value, 5);
+}
+
+}  // namespace
+}  // namespace rqs::consensus

@@ -1,0 +1,123 @@
+// Tests for the CrashPaxos baseline: correctness and its fixed 4-delay
+// latency profile (the classic reference the RQS consensus beats).
+#include "consensus/crash_paxos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace rqs::consensus {
+namespace {
+
+class PaxosHarness {
+ public:
+  explicit PaxosHarness(std::size_t n, std::size_t proposers = 1,
+                        std::size_t learners = 1)
+      : acceptors_set_(ProcessSet::universe(n)) {
+    for (std::size_t i = 0; i < learners; ++i) {
+      learners_set_.insert(45 + static_cast<ProcessId>(i));
+    }
+    for (ProcessId id = 0; id < n; ++id) {
+      acceptors_.push_back(
+          std::make_unique<PaxosAcceptor>(sim_, id, learners_set_));
+    }
+    for (std::size_t i = 0; i < proposers; ++i) {
+      proposers_.push_back(std::make_unique<PaxosProposer>(
+          sim_, 30 + static_cast<ProcessId>(i), acceptors_set_));
+    }
+    for (std::size_t i = 0; i < learners; ++i) {
+      learners_.push_back(std::make_unique<PaxosLearner>(
+          sim_, 45 + static_cast<ProcessId>(i), n));
+    }
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  PaxosProposer& proposer(std::size_t i) { return *proposers_.at(i); }
+  PaxosLearner& learner(std::size_t i) { return *learners_.at(i); }
+
+  bool run_until_learned(sim::SimTime deadline_deltas = 500) {
+    const sim::SimTime deadline =
+        sim_.now() + deadline_deltas * sim_.delta();
+    while (!sim_.idle() && sim_.now() <= deadline) {
+      bool all = true;
+      for (const auto& l : learners_) {
+        if (!l->learned()) all = false;
+      }
+      if (all) return true;
+      sim_.step();
+    }
+    for (const auto& l : learners_) {
+      if (!l->learned()) return false;
+    }
+    return true;
+  }
+
+ private:
+  sim::Simulation sim_;
+  ProcessSet acceptors_set_;
+  ProcessSet learners_set_;
+  std::vector<std::unique_ptr<PaxosAcceptor>> acceptors_;
+  std::vector<std::unique_ptr<PaxosProposer>> proposers_;
+  std::vector<std::unique_ptr<PaxosLearner>> learners_;
+};
+
+TEST(PaxosTest, SingleProposerDecides) {
+  PaxosHarness h(5);
+  h.proposer(0).propose(7);
+  ASSERT_TRUE(h.run_until_learned());
+  EXPECT_EQ(h.learner(0).learned_value(), 7);
+}
+
+TEST(PaxosTest, FourMessageDelays) {
+  // 1a -> 1b -> 2a -> 2b(to learner): four delays from the proposal.
+  PaxosHarness h(5);
+  const auto t0 = h.sim().now();
+  h.proposer(0).propose(7);
+  ASSERT_TRUE(h.run_until_learned());
+  EXPECT_EQ((h.learner(0).learn_time() - t0) / sim::kDefaultDelta, 4);
+}
+
+TEST(PaxosTest, ToleratesMinorityCrashes) {
+  PaxosHarness h(5);
+  h.sim().crash(0);
+  h.sim().crash(1);
+  h.proposer(0).propose(9);
+  ASSERT_TRUE(h.run_until_learned());
+  EXPECT_EQ(h.learner(0).learned_value(), 9);
+}
+
+TEST(PaxosTest, ContendingProposersAgree) {
+  PaxosHarness h(5, 2, 2);
+  h.proposer(0).propose(1);
+  h.proposer(1).propose(2);
+  ASSERT_TRUE(h.run_until_learned(2000));
+  const Value v = h.learner(0).learned_value();
+  EXPECT_TRUE(v == 1 || v == 2);
+  EXPECT_EQ(h.learner(1).learned_value(), v);
+}
+
+TEST(PaxosTest, PreemptedProposerAdoptsAcceptedValue) {
+  // p0 gets 3 accepted; p1 then proposes 5 with a higher ballot and must
+  // adopt 3 (it finds the accepted value in phase 1).
+  PaxosHarness h(3, 2, 1);
+  h.proposer(0).propose(3);
+  ASSERT_TRUE(h.run_until_learned());
+  h.proposer(1).propose(5);
+  h.sim().run(h.sim().now() + 50 * sim::kDefaultDelta);
+  EXPECT_EQ(h.learner(0).learned_value(), 3);
+}
+
+TEST(PaxosTest, RetriesAfterPartitionHeals) {
+  PaxosHarness h(3);
+  const std::size_t rule = h.sim().network().block(
+      ProcessSet{30}, ProcessSet::universe(3));
+  h.proposer(0).propose(4);
+  h.sim().run(h.sim().now() + 10 * sim::kDefaultDelta);
+  EXPECT_FALSE(h.learner(0).learned());
+  h.sim().network().remove_rule(rule);
+  ASSERT_TRUE(h.run_until_learned(2000));
+  EXPECT_EQ(h.learner(0).learned_value(), 4);
+}
+
+}  // namespace
+}  // namespace rqs::consensus

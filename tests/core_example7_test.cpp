@@ -1,0 +1,80 @@
+// Reproduction of Example 7: the six-server general-adversary refined
+// quorum system that motivates Property 3's per-B disjunction.
+#include <gtest/gtest.h>
+
+#include "core/classification.hpp"
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+class Example7Test : public ::testing::Test {
+ protected:
+  const RefinedQuorumSystem rqs_ = make_example7();
+  const ProcessSet q1_{1, 3, 4, 5};        // Q1  (paper's {s2,s4,s5,s6})
+  const ProcessSet q2_{0, 1, 2, 3, 4};     // Q2  ({s1..s5})
+  const ProcessSet q2p_{0, 1, 2, 3, 5};    // Q2' ({s1..s4, s6})
+};
+
+TEST_F(Example7Test, IsAValidRefinedQuorumSystem) {
+  const CheckResult r = rqs_.check(0);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST_F(Example7Test, AdversaryShape) {
+  const Adversary& b = rqs_.adversary();
+  EXPECT_FALSE(b.is_threshold());
+  EXPECT_TRUE(b.contains(ProcessSet{0, 1}));
+  EXPECT_TRUE(b.contains(ProcessSet{2, 3}));
+  EXPECT_TRUE(b.contains(ProcessSet{1, 3}));
+  EXPECT_TRUE(b.contains(ProcessSet{1}));
+  EXPECT_FALSE(b.contains(ProcessSet{4}));  // s5 is never Byzantine
+  EXPECT_FALSE(b.contains(ProcessSet{5}));  // s6 is never Byzantine
+  EXPECT_FALSE(b.contains(ProcessSet{0, 3}));
+}
+
+TEST_F(Example7Test, ClassificationMatchesPaper) {
+  const std::vector<ProcessSet> sets = {q1_, q2_, q2p_};
+  const ClassificationResult r = classify(sets, rqs_.adversary());
+  ASSERT_TRUE(r.property1_ok);
+  EXPECT_EQ(r.classes[0], QuorumClass::Class1);
+  EXPECT_EQ(r.classes[1], QuorumClass::Class2);
+  EXPECT_EQ(r.classes[2], QuorumClass::Class2);
+}
+
+TEST_F(Example7Test, PaperNarrativeWitnesses) {
+  // "since B34 = Q2 n Q2' \ B12 = {s3,s4} in B, P3a(Q2,Q2',B12) does not
+  // hold and consequently neither does P3a(Q2,Q2',B34). Hence
+  // P3b(Q2,Q2',B34) must hold ... server s2 in non-empty Q1 n Q2 n Q2' \ B34."
+  const ProcessSet b12{0, 1};
+  const ProcessSet b34{2, 3};
+  EXPECT_EQ((q2_ & q2p_) - b12, b34);
+  EXPECT_TRUE(rqs_.adversary().contains(b34));
+  EXPECT_FALSE(rqs_.p3a(q2_, q2p_, b12));
+  EXPECT_FALSE(rqs_.p3a(q2_, q2p_, b34));
+  EXPECT_TRUE(rqs_.p3b(q2_, q2p_, b34));
+  EXPECT_EQ((q1_ & q2_ & q2p_) - b34, ProcessSet{1});  // s2
+}
+
+TEST_F(Example7Test, Q2CannotBeClass1) {
+  std::vector<Quorum> promoted(rqs_.quorums().begin(), rqs_.quorums().end());
+  for (Quorum& q : promoted) {
+    if (q.set == q2_) q.cls = QuorumClass::Class1;
+  }
+  const RefinedQuorumSystem bad{rqs_.adversary(), std::move(promoted)};
+  CheckResult r;
+  EXPECT_FALSE(bad.check_property2(r, 0));
+}
+
+TEST_F(Example7Test, RemovingS2FromQ1BreaksProperty3) {
+  // s2 (process 1) is the linchpin of the P3b witness; without it the
+  // per-B disjunction fails for (Q2, Q2', B34).
+  std::vector<Quorum> mutated(rqs_.quorums().begin(), rqs_.quorums().end());
+  mutated[0].set = ProcessSet{3, 4, 5};  // Q1 minus s2
+  const RefinedQuorumSystem bad{rqs_.adversary(), std::move(mutated)};
+  CheckResult r;
+  EXPECT_FALSE(bad.check_property3(r, 0));
+}
+
+}  // namespace
+}  // namespace rqs

@@ -1,0 +1,117 @@
+// Reproduction of Figure 3: the example refined quorum system for the
+// 1-bounded threshold adversary over 8 elements, and the caption's claims.
+#include <gtest/gtest.h>
+
+#include "core/classification.hpp"
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  const RefinedQuorumSystem rqs_ = make_fig3_example();
+  // 0-indexed sets (the paper's element i is process i-1).
+  const ProcessSet q_{4, 5, 6, 7};            // Q
+  const ProcessSet qp_{0, 1, 2, 3, 6, 7};     // Q'
+  const ProcessSet q2_{0, 1, 2, 4, 5};        // Q2
+  const ProcessSet q1_{2, 3, 4, 5, 6};        // Q1
+};
+
+TEST_F(Fig3Test, IsAValidRefinedQuorumSystem) {
+  const CheckResult r = rqs_.check(0);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST_F(Fig3Test, PairwiseIntersectionsAtLeastKPlus1) {
+  // Caption: every pair of depicted sets intersects in >= k+1 = 2 elements.
+  const std::vector<ProcessSet> sets = {q_, qp_, q2_, q1_};
+  for (const ProcessSet& a : sets) {
+    for (const ProcessSet& b : sets) {
+      EXPECT_GE((a & b).size(), 2u) << a.to_string() << " " << b.to_string();
+    }
+  }
+}
+
+TEST_F(Fig3Test, Q1IntersectsEverythingIn2kPlus1) {
+  // Caption: Q1 intersects every other set in >= 2k+1 = 3 elements.
+  for (const ProcessSet& other : {q_, qp_, q2_}) {
+    EXPECT_GE((q1_ & other).size(), 3u) << other.to_string();
+  }
+}
+
+TEST_F(Fig3Test, CaptionIntersections) {
+  EXPECT_EQ((q2_ & qp_).size(), 3u);   // |Q2 n Q'| = 2k+1
+  EXPECT_EQ((q2_ & q1_).size(), 3u);   // |Q2 n Q1| = 2k+1
+  EXPECT_EQ((q2_ & q_ & q1_).size(), 2u);  // |Q2 n Q n Q1| = k+1
+}
+
+TEST_F(Fig3Test, CardinalityIsNotClass) {
+  // Caption: Q1 has 5 elements and is class 1; Q' has 6 elements yet is
+  // only class 3. Verify with the classifier: the maximal classification
+  // of these four sets has exactly Q1 in class 1 and Q2 (with Q1) in
+  // class 2; Q and Q' remain class 3.
+  const std::vector<ProcessSet> sets = {q_, qp_, q2_, q1_};
+  const ClassificationResult r = classify(sets, Adversary::threshold(8, 1));
+  ASSERT_TRUE(r.property1_ok);
+  EXPECT_EQ(r.classes[0], QuorumClass::Class3);  // Q
+  EXPECT_EQ(r.classes[1], QuorumClass::Class3);  // Q' (6 elements!)
+  EXPECT_EQ(r.classes[2], QuorumClass::Class2);  // Q2
+  EXPECT_EQ(r.classes[3], QuorumClass::Class1);  // Q1 (5 elements)
+  EXPECT_EQ(q1_.size(), 5u);
+  EXPECT_EQ(qp_.size(), 6u);
+}
+
+TEST_F(Fig3Test, FullDemotionToClass3StaysValid) {
+  // Demoting every quorum to class 3 empties QC1/QC2 and makes P2/P3
+  // vacuous, so validity is preserved.
+  std::vector<Quorum> weakened(rqs_.quorums().begin(), rqs_.quorums().end());
+  for (Quorum& q : weakened) q.cls = QuorumClass::Class3;
+  EXPECT_TRUE(RefinedQuorumSystem(rqs_.adversary(), weakened).valid());
+}
+
+TEST_F(Fig3Test, DemotingClass1CanBreakProperty3) {
+  // Demotion is NOT always harmless: P3b is relative to QC1, so demoting
+  // Q1 to class 2 deprives Q2's P3 row of its class 1 witness here
+  // (|Q2 n Q| = 2 < 2k+1 needs P3b).
+  std::vector<Quorum> weakened(rqs_.quorums().begin(), rqs_.quorums().end());
+  for (Quorum& q : weakened) {
+    if (q.cls == QuorumClass::Class1) q.cls = QuorumClass::Class2;
+  }
+  const RefinedQuorumSystem demoted{rqs_.adversary(), std::move(weakened)};
+  CheckResult r;
+  EXPECT_FALSE(demoted.check_property3(r, 0));
+}
+
+TEST_F(Fig3Test, DemotingQ2ToClass3StaysValid) {
+  std::vector<Quorum> weakened(rqs_.quorums().begin(), rqs_.quorums().end());
+  for (Quorum& q : weakened) {
+    if (q.set == q2_) q.cls = QuorumClass::Class3;
+  }
+  EXPECT_TRUE(RefinedQuorumSystem(rqs_.adversary(), std::move(weakened)).valid());
+}
+
+TEST_F(Fig3Test, PromotingQPrimeBreaksTheSystem) {
+  // Making Q' class 2 must violate Property 3 (the caption's point that
+  // cardinality does not give class).
+  std::vector<Quorum> promoted(rqs_.quorums().begin(), rqs_.quorums().end());
+  for (Quorum& q : promoted) {
+    if (q.set == qp_) q.cls = QuorumClass::Class2;
+  }
+  const RefinedQuorumSystem bad{rqs_.adversary(), std::move(promoted)};
+  CheckResult r;
+  EXPECT_FALSE(bad.check_property3(r, 0));
+}
+
+TEST_F(Fig3Test, PromotingQ2ToClass1BreaksProperty2) {
+  std::vector<Quorum> promoted(rqs_.quorums().begin(), rqs_.quorums().end());
+  for (Quorum& q : promoted) {
+    if (q.set == q2_) q.cls = QuorumClass::Class1;
+  }
+  const RefinedQuorumSystem bad{rqs_.adversary(), std::move(promoted)};
+  CheckResult r;
+  EXPECT_FALSE(bad.check_property2(r, 0));
+}
+
+}  // namespace
+}  // namespace rqs

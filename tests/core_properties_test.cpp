@@ -1,0 +1,213 @@
+// Tests of the RQS property checkers (Definition 2), including the
+// Figure 2 intersection facts and the equivalence of the analytic
+// threshold checks with brute-force general-adversary enumeration.
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.hpp"
+#include "core/constructions.hpp"
+#include "core/rqs.hpp"
+
+namespace rqs {
+namespace {
+
+// --- Figure 2: intersections of 3- and 4-subsets of a 5-element set. ---
+
+TEST(Fig2Test, ThreeSubsetsCanMissEachOther) {
+  // Fig 2(a): Q1 = {1,2,3}, Q2 = {3,4,5}, Q3 = {1,2,4} (0-indexed below)
+  // have pairwise intersections but empty triple intersection.
+  const ProcessSet q1{0, 1, 2};
+  const ProcessSet q2{2, 3, 4};
+  const ProcessSet q3{0, 1, 3};
+  EXPECT_FALSE((q1 & q2).empty());
+  EXPECT_FALSE((q2 & q3).empty());
+  EXPECT_FALSE((q1 & q3).empty());
+  EXPECT_TRUE((q1 & q2 & q3).empty());
+}
+
+TEST(Fig2Test, TwoFourSubsetsAlwaysMeetEveryThreeSubset) {
+  // Fig 2(b): in a 5-element universe, any two 4-subsets intersect any
+  // 3-subset. Exhaustive.
+  const ProcessSet u = ProcessSet::universe(5);
+  for_each_subset_of_size(u, 4, [&](ProcessSet a) {
+    for_each_subset_of_size(u, 4, [&](ProcessSet b) {
+      for_each_subset_of_size(u, 3, [&](ProcessSet c) {
+        EXPECT_FALSE((a & b & c).empty())
+            << a.to_string() << " " << b.to_string() << " " << c.to_string();
+      });
+    });
+  });
+}
+
+// --- Property checker behaviour on hand-built systems. ---
+
+TEST(PropertiesTest, Property1RejectsSmallIntersections) {
+  // Two quorums intersecting in a single process, adversary B_1.
+  std::vector<Quorum> quorums = {
+      Quorum{ProcessSet{0, 1, 2}, QuorumClass::Class3},
+      Quorum{ProcessSet{2, 3, 4}, QuorumClass::Class3},
+  };
+  const RefinedQuorumSystem rqs{Adversary::threshold(5, 1), std::move(quorums)};
+  CheckResult r;
+  EXPECT_FALSE(rqs.check_property1(r, 0));
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].property, 1);
+}
+
+TEST(PropertiesTest, Property1AcceptsBasicIntersections) {
+  std::vector<Quorum> quorums = {
+      Quorum{ProcessSet{0, 1, 2, 3}, QuorumClass::Class3},
+      Quorum{ProcessSet{1, 2, 3, 4}, QuorumClass::Class3},
+  };
+  const RefinedQuorumSystem rqs{Adversary::threshold(5, 1), std::move(quorums)};
+  CheckResult r;
+  EXPECT_TRUE(rqs.check_property1(r, 0));
+}
+
+TEST(PropertiesTest, Property1AppliesToQuorumItself) {
+  // A quorum inside the adversary fails P1 via Q n Q = Q.
+  std::vector<Quorum> quorums = {Quorum{ProcessSet{0}, QuorumClass::Class3}};
+  const RefinedQuorumSystem rqs{Adversary::threshold(3, 1), std::move(quorums)};
+  CheckResult r;
+  EXPECT_FALSE(rqs.check_property1(r, 0));
+}
+
+TEST(PropertiesTest, Property2RequiresLargeTripleIntersections) {
+  // Figure 1's broken configuration: 3-subsets of 5 as class 1, crash
+  // adversary. Two class 1 quorums and a third quorum can have an empty
+  // intersection => P2 fails.
+  const RefinedQuorumSystem broken = make_fig1_broken5();
+  CheckResult r;
+  EXPECT_FALSE(broken.check_property2(r, 0));
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].property, 2);
+  // The repaired configuration (4-subsets class 1) passes everything.
+  EXPECT_TRUE(make_fig1_fast5().valid());
+}
+
+TEST(PropertiesTest, Property2CountsSelfIntersections) {
+  // A single class 1 quorum must still intersect every quorum in a large
+  // set (Q1 n Q1 n Q = Q1 n Q).
+  std::vector<Quorum> quorums = {
+      Quorum{ProcessSet{0, 1, 2, 3}, QuorumClass::Class1},
+      Quorum{ProcessSet{2, 3, 4, 5}, QuorumClass::Class3},
+  };
+  // |Q1 n Q| = 2 < 2k+1 = 3 for k = 1.
+  const RefinedQuorumSystem rqs{Adversary::threshold(6, 1), std::move(quorums)};
+  CheckResult r;
+  EXPECT_FALSE(rqs.check_property2(r, 0));
+}
+
+TEST(PropertiesTest, EmptyClassesMakeP2AndP3Vacuous) {
+  const RefinedQuorumSystem rqs = make_crash_majority(5);
+  CheckResult r;
+  EXPECT_TRUE(rqs.check_property2(r, 0));
+  EXPECT_TRUE(rqs.check_property3(r, 0));
+  EXPECT_TRUE(rqs.valid());
+}
+
+// --- Threshold analytic checks agree with general-adversary brute force ---
+
+struct SweepParam {
+  std::size_t n, k, t, r, q;
+};
+
+class ThresholdAgreementTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ThresholdAgreementTest, AnalyticMatchesEnumerated) {
+  const auto [n, k, t, r, q] = GetParam();
+  const ThresholdParams p{.n = n, .k = k, .t = t, .r = r, .q = q,
+                          .has_class1 = true, .has_class2 = true};
+  const RefinedQuorumSystem analytic = make_threshold_rqs(p);
+
+  // Same quorums against the *general* adversary with the same maximal
+  // elements: exercises the enumerating code paths.
+  Adversary general{n, Adversary::threshold(n, k).maximal_elements()};
+  std::vector<Quorum> quorums(analytic.quorums().begin(), analytic.quorums().end());
+  const RefinedQuorumSystem enumerated{std::move(general), std::move(quorums)};
+
+  CheckResult ra, rb;
+  EXPECT_EQ(analytic.check_property1(ra, 1), enumerated.check_property1(rb, 1));
+  ra = {}; rb = {};
+  EXPECT_EQ(analytic.check_property2(ra, 1), enumerated.check_property2(rb, 1));
+  ra = {}; rb = {};
+  EXPECT_EQ(analytic.check_property3(ra, 1), enumerated.check_property3(rb, 1));
+  EXPECT_EQ(analytic.valid(), enumerated.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSystems, ThresholdAgreementTest,
+    ::testing::Values(SweepParam{4, 1, 1, 1, 0},   // 3t+1, t=1
+                      SweepParam{5, 1, 1, 1, 0},
+                      SweepParam{5, 1, 1, 1, 1},
+                      SweepParam{5, 0, 2, 2, 1},   // Fig. 1 fast system
+                      SweepParam{6, 1, 1, 1, 1},
+                      SweepParam{6, 1, 2, 2, 0},
+                      SweepParam{7, 2, 2, 2, 0},   // 3t+1, t=2
+                      SweepParam{7, 1, 2, 2, 1},
+                      SweepParam{8, 1, 2, 2, 0},
+                      SweepParam{8, 2, 2, 2, 1},
+                      SweepParam{9, 2, 2, 2, 2}));
+
+// --- Corrected vs conference Property 3 (Appendix C errata). ---
+
+TEST(ErrataTest, CorrectedP3HoldsWhereConferenceVersionFails) {
+  // Example 7's system satisfies the corrected (per-B) Property 3: for the
+  // pair (Q2, Q2') the disjunct depends on B — P3a for B = {1,3} but only
+  // P3b for B = {0,1} and B = {2,3}. The conference version demanded one
+  // disjunct for ALL B, which fails here.
+  const RefinedQuorumSystem ex7 = make_example7();
+  EXPECT_TRUE(ex7.valid());
+  EXPECT_FALSE(ex7.check_property3_conference());
+}
+
+TEST(ErrataTest, ConferenceAndCorrectedAgreeOnThresholdFamilies) {
+  // Under the symmetric threshold adversary the two statements coincide.
+  for (std::size_t t = 1; t <= 2; ++t) {
+    const RefinedQuorumSystem sys = make_3t1_instantiation(t);
+    Adversary general{sys.universe_size(),
+                      sys.adversary().maximal_elements()};
+    std::vector<Quorum> quorums(sys.quorums().begin(), sys.quorums().end());
+    const RefinedQuorumSystem g{std::move(general), std::move(quorums)};
+    CheckResult r;
+    EXPECT_EQ(g.check_property3(r, 1), g.check_property3_conference());
+  }
+}
+
+// --- P3a / P3b helpers. ---
+
+TEST(PropertiesTest, P3aP3bWitnessesOnExample7) {
+  const RefinedQuorumSystem ex7 = make_example7();
+  const ProcessSet q1{1, 3, 4, 5};
+  const ProcessSet q2{0, 1, 2, 3, 4};
+  const ProcessSet q2p{0, 1, 2, 3, 5};
+  const ProcessSet b12{0, 1};
+  const ProcessSet b34{2, 3};
+  const ProcessSet b24{1, 3};
+  // Exactly the paper's Example 7 narrative:
+  EXPECT_FALSE(ex7.p3a(q2, q2p, b12));  // Q2 n Q2' \ {0,1} = {2,3} in B
+  EXPECT_FALSE(ex7.p3a(q2, q2p, b34));
+  EXPECT_TRUE(ex7.p3b(q2, q2p, b34));   // {1} remains in Q1 n Q2 n Q2' \ B
+  EXPECT_TRUE(ex7.p3b(q2, q2p, b12));
+  EXPECT_TRUE(ex7.p3a(q2, q2p, b24));   // remainder {0,2,4}... basic
+  EXPECT_TRUE(ex7.p3a(q2, q1, b12));
+}
+
+TEST(PropertiesTest, P3bFalseWithoutClass1) {
+  const RefinedQuorumSystem masking = make_masking(5, 1, 1);
+  EXPECT_FALSE(masking.has_class1());
+  EXPECT_FALSE(masking.p3b(ProcessSet{0, 1, 2, 3}, ProcessSet{1, 2, 3, 4},
+                           ProcessSet{1}));
+}
+
+TEST(PropertiesTest, CheckCollectsMultipleViolations) {
+  const RefinedQuorumSystem broken = make_fig1_broken5();
+  const CheckResult all = broken.check(0);
+  EXPECT_FALSE(all.ok());
+  EXPECT_GT(all.violations.size(), 1u);
+  const CheckResult one = broken.check(1);
+  EXPECT_EQ(one.violations.size(), 1u);
+  EXPECT_NE(all.to_string().find("Property"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rqs

