@@ -66,6 +66,30 @@ void BM_CountClassifications(benchmark::State& state) {
 }
 BENCHMARK(BM_CountClassifications);
 
+void BM_CountClassificationsGeneral(benchmark::State& state) {
+  // Example 7's general adversary exercises the engine's cached maximal
+  // view, pairwise-union large-test and memoized per-mask P3 rows.
+  const std::vector<ProcessSet> ex7 = {ProcessSet{1, 3, 4, 5},
+                                       ProcessSet{0, 1, 2, 3, 4},
+                                       ProcessSet{0, 1, 2, 3, 5}};
+  const Adversary adv{6, {ProcessSet{0, 1}, ProcessSet{2, 3}, ProcessSet{1, 3}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_classifications(ex7, adv));
+  }
+}
+BENCHMARK(BM_CountClassificationsGeneral);
+
+void BM_ClassifyGeneral(benchmark::State& state) {
+  const std::vector<ProcessSet> ex7 = {ProcessSet{1, 3, 4, 5},
+                                       ProcessSet{0, 1, 2, 3, 4},
+                                       ProcessSet{0, 1, 2, 3, 5}};
+  const Adversary adv{6, {ProcessSet{0, 1}, ProcessSet{2, 3}, ProcessSet{1, 3}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify(ex7, adv).class1_count);
+  }
+}
+BENCHMARK(BM_ClassifyGeneral);
+
 }  // namespace
 }  // namespace rqs
 

@@ -3,6 +3,7 @@
 // families of growing size — analytic threshold checks vs brute-force
 // general-adversary enumeration.
 #include "bench/bench_util.hpp"
+#include "core/check_engine.hpp"
 #include "core/classification.hpp"
 #include "core/constructions.hpp"
 
@@ -31,6 +32,16 @@ void print_tables() {
       "fig3 best classification (|QC1|, |QC2|)",
       "(" + std::to_string(fig3.class1_count) + ", " +
           std::to_string(fig3.class2_count) + ")  claim: (1, 2)");
+  // Engine vs naive oracle cross-check on the paper fixtures (the full
+  // differential suite lives in tests/check_engine_test.cpp).
+  const RefinedQuorumSystem ex7 = make_example7();
+  CheckResult naive;
+  const bool naive_ok = ex7.check_property1(naive, 0) &&
+                        ex7.check_property2(naive, 0) &&
+                        ex7.check_property3(naive, 0);
+  rqs::bench::print_row(
+      "example7 engine == naive oracle",
+      (CheckEngine{ex7}.check(0).ok() == naive_ok) ? "agree" : "DISAGREE");
 }
 
 void BM_CheckFig3(benchmark::State& state) {
@@ -64,6 +75,41 @@ void BM_CheckThresholdEnumerated(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(sys.check(1).ok());
 }
 BENCHMARK(BM_CheckThresholdEnumerated)->Arg(1)->Arg(2);
+
+void BM_CheckThresholdEnumeratedNaive(benchmark::State& state) {
+  // The naive reference checkers (no engine), for before/after comparison
+  // with BM_CheckThresholdEnumerated, which routes through CheckEngine.
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  const RefinedQuorumSystem analytic = make_3t1_instantiation(t);
+  Adversary general{analytic.universe_size(),
+                    analytic.adversary().maximal_elements()};
+  std::vector<Quorum> quorums(analytic.quorums().begin(),
+                              analytic.quorums().end());
+  const RefinedQuorumSystem sys{std::move(general), std::move(quorums)};
+  for (auto _ : state) {
+    CheckResult out;
+    bool ok = sys.check_property1(out, 1);
+    ok = ok && sys.check_property2(out, 1);
+    ok = ok && sys.check_property3(out, 1);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_CheckThresholdEnumeratedNaive)->Arg(1)->Arg(2);
+
+void BM_CheckEngineReuse(benchmark::State& state) {
+  // One engine reused across checks: the per-system precompute (cached
+  // maximal view, pairwise unions, QC1 intersection) is paid once.
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  const RefinedQuorumSystem analytic = make_3t1_instantiation(t);
+  Adversary general{analytic.universe_size(),
+                    analytic.adversary().maximal_elements()};
+  std::vector<Quorum> quorums(analytic.quorums().begin(),
+                              analytic.quorums().end());
+  const RefinedQuorumSystem sys{std::move(general), std::move(quorums)};
+  const CheckEngine engine{sys};
+  for (auto _ : state) benchmark::DoNotOptimize(engine.check(1).ok());
+}
+BENCHMARK(BM_CheckEngineReuse)->Arg(1)->Arg(2);
 
 void BM_Classify(benchmark::State& state) {
   const std::vector<ProcessSet> sets = {

@@ -62,16 +62,18 @@ bool for_each_subset(ProcessSet base, Fn&& fn) {
   }
 }
 
-/// Binomial coefficient C(n, k) without overflow for the small arguments
-/// used in this library (n <= 64).
+/// Binomial coefficient C(n, k) for n <= 64, exact whenever the result fits
+/// in uint64_t. The multiply-then-divide recurrence is evaluated in 128-bit
+/// arithmetic: the 64-bit intermediate `result * (n - i)` overflows for n
+/// near 64 (e.g. C(64, 32)) even though every partial binomial fits.
 [[nodiscard]] constexpr std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
   if (k > n) return 0;
   if (k > n - k) k = n - k;
-  std::uint64_t result = 1;
+  unsigned __int128 result = 1;
   for (std::uint64_t i = 0; i < k; ++i) {
     result = result * (n - i) / (i + 1);
   }
-  return result;
+  return static_cast<std::uint64_t>(result);
 }
 
 }  // namespace rqs

@@ -1,11 +1,27 @@
 #include "common/process_set.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace rqs {
 
 std::ostream& operator<<(std::ostream& os, const ProcessSet& s) {
   return os << s.to_string();
+}
+
+std::vector<ProcessSet> keep_maximal_sets(std::vector<ProcessSet> sets) {
+  // Largest first, so each candidate only needs to look at survivors.
+  std::sort(sets.begin(), sets.end(),
+            [](ProcessSet a, ProcessSet b) { return a.size() > b.size(); });
+  std::vector<ProcessSet> maximal;
+  for (const ProcessSet e : sets) {
+    const bool covered = std::any_of(
+        maximal.begin(), maximal.end(),
+        [e](ProcessSet m) { return e.subset_of(m); });
+    if (!covered) maximal.push_back(e);
+  }
+  std::sort(maximal.begin(), maximal.end());
+  return maximal;
 }
 
 }  // namespace rqs

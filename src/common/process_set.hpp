@@ -169,4 +169,11 @@ class ProcessSet {
 
 std::ostream& operator<<(std::ostream& os, const ProcessSet& s);
 
+/// Drops every set that is a (non-strict) subset of another in the family,
+/// keeping a single copy of duplicates, and returns the survivors sorted by
+/// mask. Used to normalize adversary structures and their pairwise unions:
+/// "x is covered by some family member" is preserved.
+[[nodiscard]] std::vector<ProcessSet> keep_maximal_sets(
+    std::vector<ProcessSet> sets);
+
 }  // namespace rqs

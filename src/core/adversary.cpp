@@ -7,28 +7,8 @@
 
 namespace rqs {
 
-namespace {
-
-// Drops every element that is a (non-strict) subset of another element,
-// keeping a single copy of duplicates.
-std::vector<ProcessSet> keep_maximal(std::vector<ProcessSet> elems) {
-  std::sort(elems.begin(), elems.end(),
-            [](ProcessSet a, ProcessSet b) { return a.size() > b.size(); });
-  std::vector<ProcessSet> maximal;
-  for (const ProcessSet e : elems) {
-    const bool covered = std::any_of(
-        maximal.begin(), maximal.end(),
-        [e](ProcessSet m) { return e.subset_of(m); });
-    if (!covered) maximal.push_back(e);
-  }
-  std::sort(maximal.begin(), maximal.end());
-  return maximal;
-}
-
-}  // namespace
-
 Adversary::Adversary(std::size_t n, std::vector<ProcessSet> elements)
-    : n_(n), maximal_(keep_maximal(std::move(elements))) {
+    : n_(n), maximal_(keep_maximal_sets(std::move(elements))) {
   assert(n <= ProcessSet::kMaxProcesses);
   for ([[maybe_unused]] const ProcessSet m : maximal_) {
     assert(m.subset_of(ProcessSet::universe(n)));
@@ -54,15 +34,35 @@ std::vector<ProcessSet> Adversary::maximal_elements() const {
   return out;
 }
 
+std::span<const ProcessSet> Adversary::maximal_view() const {
+  if (!is_threshold()) return maximal_;
+  if (!threshold_view_built_) {
+    threshold_view_.reserve(binomial(n_, threshold_k()));
+    for_each_subset_of_size(
+        ProcessSet::universe(n_), threshold_k(),
+        [this](ProcessSet s) { threshold_view_.push_back(s); });
+    threshold_view_built_ = true;
+  }
+  return threshold_view_;
+}
+
 bool Adversary::contains(ProcessSet x) const {
-  if (is_threshold()) return x.size() <= threshold_k();
+  if (is_threshold()) {
+    // Members outside the universe disqualify x, exactly as on the general
+    // path where every maximal element lives inside the universe.
+    return x.subset_of(ProcessSet::universe(n_)) && x.size() <= threshold_k();
+  }
   return std::any_of(maximal_.begin(), maximal_.end(),
                      [x](ProcessSet m) { return x.subset_of(m); });
 }
 
 bool Adversary::is_large(ProcessSet x) const {
   if (is_threshold()) {
-    // x escapes every union of two size-<=k sets iff |x| >= 2k+1.
+    // A member outside the universe cannot be covered by any union of
+    // in-universe elements, so x is large — as on the general path.
+    if (!x.subset_of(ProcessSet::universe(n_))) return true;
+    // Within the universe, x escapes every union of two size-<=k sets iff
+    // |x| >= 2k+1.
     return x.size() >= 2 * threshold_k() + 1;
   }
   // Checking maximal pairs suffices: any B1 u B2 is covered by a union of

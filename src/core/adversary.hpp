@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,13 +45,29 @@ class Adversary {
   /// The bound k for threshold adversaries; meaningless otherwise.
   [[nodiscard]] std::size_t threshold_k() const noexcept { return threshold_k_.value(); }
 
-  /// Maximal elements. For threshold adversaries this enumerates all
-  /// C(n, k) size-k subsets on demand (use the analytic queries instead
-  /// where possible); for general adversaries it is the stored list.
+  /// Maximal elements as a fresh vector. For threshold adversaries this
+  /// materializes all C(n, k) size-k subsets (use maximal_view() or
+  /// for_each_maximal_element() instead where possible); for general
+  /// adversaries it copies the stored list.
   [[nodiscard]] std::vector<ProcessSet> maximal_elements() const;
 
+  /// Maximal elements as a non-owning view. For general adversaries this is
+  /// the stored list (zero cost); for threshold adversaries the C(n, k)
+  /// subsets are materialized once on first call and cached, so repeated
+  /// callers (e.g. the property checkers' B loops) never re-allocate.
+  /// The view is invalidated by destroying or moving the adversary.
+  [[nodiscard]] std::span<const ProcessSet> maximal_view() const;
+
+  /// Calls fn(B) for every maximal element without ever materializing the
+  /// list, even for threshold adversaries. `fn` may return void, or bool
+  /// where false stops enumeration early (and makes this return false).
+  template <typename Fn>
+  bool for_each_maximal_element(Fn&& fn) const;
+
   /// True iff X is an element of B (i.e., X may be exactly the set of
-  /// Byzantine processes in some execution).
+  /// Byzantine processes in some execution). Sets with members outside the
+  /// universe {0..n-1} are never elements, for threshold and general
+  /// adversaries alike.
   [[nodiscard]] bool contains(ProcessSet x) const;
 
   /// Definition 5: X is *basic* iff X is not in B. Every basic subset
@@ -81,6 +98,11 @@ class Adversary {
   std::size_t n_;
   std::optional<std::size_t> threshold_k_;  // engaged => threshold adversary
   std::vector<ProcessSet> maximal_;         // general adversary only
+  // Lazily-built maximal_view() cache for threshold adversaries. Mutable
+  // because building the view does not change the adversary's value; not
+  // synchronized (the library is single-threaded).
+  mutable std::vector<ProcessSet> threshold_view_;
+  mutable bool threshold_view_built_{false};
 };
 
 }  // namespace rqs

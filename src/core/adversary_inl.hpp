@@ -1,9 +1,28 @@
 // Template member implementations for Adversary.
 #pragma once
 
+#include <type_traits>
+#include <utility>
+
 #include "common/combinatorics.hpp"
 
 namespace rqs {
+
+template <typename Fn>
+bool Adversary::for_each_maximal_element(Fn&& fn) const {
+  if (is_threshold()) {
+    return for_each_subset_of_size(ProcessSet::universe(n_), threshold_k(),
+                                   std::forward<Fn>(fn));
+  }
+  for (const ProcessSet m : maximal_) {
+    if constexpr (std::is_void_v<decltype(fn(m))>) {
+      fn(m);
+    } else {
+      if (!fn(m)) return false;
+    }
+  }
+  return true;
+}
 
 template <typename Fn>
 bool Adversary::for_each_element(Fn&& fn) const {

@@ -1,0 +1,364 @@
+#include "core/check_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rqs {
+
+void CheckEngine::init_adversary_state() {
+  threshold_ = adversary_->is_threshold();
+  if (threshold_) {
+    k_ = adversary_->threshold_k();
+  } else {
+    maximal_ = adversary_->maximal_view();
+    for (const ProcessSet m : maximal_) {
+      max_elem_size_ = std::max(max_elem_size_, m.size());
+    }
+  }
+  qc1_inter_ = ProcessSet::universe(adversary_->universe_size());
+}
+
+CheckEngine::CheckEngine(const RefinedQuorumSystem& sys)
+    : adversary_(&sys.adversary()),
+      qc1_ids_(sys.class1_ids()),
+      qc2_ids_(sys.class2_ids()) {
+  sets_.reserve(sys.quorum_count());
+  for (const Quorum& q : sys.quorums()) sets_.push_back(q.set);
+  init_adversary_state();
+  qc1_sets_.reserve(qc1_ids_.size());
+  for (const QuorumId id : qc1_ids_) {
+    qc1_sets_.push_back(sets_[id]);
+    qc1_inter_ &= sets_[id];
+  }
+}
+
+CheckEngine::CheckEngine(const Adversary& adversary,
+                         std::vector<ProcessSet> sets)
+    : adversary_(&adversary), sets_(std::move(sets)) {
+  assert(sets_.size() <= 20 && "mask-parameterized engine is for <= 20 sets");
+  [[maybe_unused]] const ProcessSet everyone =
+      ProcessSet::universe(adversary_->universe_size());
+  for ([[maybe_unused]] const ProcessSet s : sets_) {
+    assert(s.subset_of(everyone));
+  }
+  init_adversary_state();
+}
+
+bool CheckEngine::is_basic(ProcessSet x) const {
+  // Engine queries are intersections of quorum sets, all inside the
+  // universe, so the threshold form reduces to a popcount comparison.
+  if (threshold_) return x.size() > k_;
+  if (x.size() > max_elem_size_) return true;
+  for (const ProcessSet m : maximal_) {
+    if (x.subset_of(m)) return false;
+  }
+  return true;
+}
+
+void CheckEngine::build_unions() const {
+  std::vector<ProcessSet> all;
+  all.reserve(maximal_.size() * (maximal_.size() + 1) / 2);
+  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+    for (std::size_t j = i; j < maximal_.size(); ++j) {
+      all.push_back(maximal_[i] | maximal_[j]);
+    }
+  }
+  unions_ = keep_maximal_sets(std::move(all));
+  for (const ProcessSet u : unions_) {
+    max_union_size_ = std::max(max_union_size_, u.size());
+  }
+  unions_built_ = true;
+}
+
+void CheckEngine::ensure_pair_table() const {
+  if (!pair_inter_.empty()) return;
+  const std::size_t m = sets_.size();
+  pair_inter_.resize(m * m);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      pair_inter_[a * m + b] = sets_[a] & sets_[b];
+    }
+  }
+}
+
+bool CheckEngine::is_large(ProcessSet x) const {
+  if (threshold_) return x.size() >= 2 * k_ + 1;
+  if (!unions_built_) build_unions();
+  if (x.size() > max_union_size_) return true;
+  for (const ProcessSet u : unions_) {
+    if (x.subset_of(u)) return false;
+  }
+  return true;
+}
+
+bool CheckEngine::p3a(ProcessSet inter, ProcessSet b) const {
+  return is_basic(inter - b);
+}
+
+bool CheckEngine::p3b(ProcessSet inter, ProcessSet b,
+                      std::span<const ProcessSet> qc1_sets,
+                      ProcessSet qc1_inter) const {
+  if (qc1_sets.empty()) return false;
+  // Sufficient fast path: if even the intersection of ALL class 1 quorums
+  // meets inter \ B, then certainly every individual class 1 quorum does.
+  if (!((qc1_inter & inter) - b).empty()) return true;
+  for (const ProcessSet q1 : qc1_sets) {
+    if (((q1 & inter) - b).empty()) return false;
+  }
+  return true;
+}
+
+bool CheckEngine::p3_pair_holds(ProcessSet inter,
+                                std::span<const ProcessSet> qc1_sets,
+                                ProcessSet qc1_inter) const {
+  for (const ProcessSet b : maximal_) {
+    if (!p3a(inter, b) && !p3b(inter, b, qc1_sets, qc1_inter)) return false;
+  }
+  return true;
+}
+
+bool CheckEngine::p3_pair_holds_threshold(
+    ProcessSet inter, std::span<const ProcessSet> qc1_sets) const {
+  if (inter.size() >= 2 * k_ + 1) return true;
+  if (qc1_sets.empty()) return false;
+  return std::all_of(qc1_sets.begin(), qc1_sets.end(), [&](ProcessSet q1) {
+    return (q1 & inter).size() >= k_ + 1;
+  });
+}
+
+bool CheckEngine::check_property1(CheckResult& out, std::size_t max) const {
+  bool ok = true;
+  for (QuorumId a = 0; a < sets_.size(); ++a) {
+    for (QuorumId b = a; b < sets_.size(); ++b) {
+      const ProcessSet inter = sets_[a] & sets_[b];
+      if (!is_basic(inter)) {
+        ok = false;
+        out.violations.push_back(PropertyViolation{
+            .property = 1,
+            .q_a = a,
+            .q_b = b,
+            .q_c = kInvalidQuorum,
+            .b1 = inter,
+            .b2 = {},
+            .detail = "Q" + std::to_string(a) + " n Q" + std::to_string(b) +
+                      " = " + inter.to_string() + " is an element of B"});
+        if (max != 0 && out.violations.size() >= max) return false;
+      }
+    }
+  }
+  return ok;
+}
+
+bool CheckEngine::check_property2(CheckResult& out, std::size_t max) const {
+  bool ok = true;
+  for (std::size_t i = 0; i < qc1_ids_.size(); ++i) {
+    for (std::size_t j = i; j < qc1_ids_.size(); ++j) {
+      const ProcessSet q1q1 = qc1_sets_[i] & qc1_sets_[j];
+      for (QuorumId c = 0; c < sets_.size(); ++c) {
+        const ProcessSet inter = q1q1 & sets_[c];
+        if (!is_large(inter)) {
+          ok = false;
+          out.violations.push_back(PropertyViolation{
+              .property = 2,
+              .q_a = qc1_ids_[i],
+              .q_b = qc1_ids_[j],
+              .q_c = c,
+              .b1 = inter,
+              .b2 = {},
+              .detail = "Q" + std::to_string(qc1_ids_[i]) + " n Q" +
+                        std::to_string(qc1_ids_[j]) + " n Q" +
+                        std::to_string(c) + " = " + inter.to_string() +
+                        " is covered by a union of two elements of B"});
+          if (max != 0 && out.violations.size() >= max) return false;
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+bool CheckEngine::check_property3(CheckResult& out, std::size_t max) const {
+  bool ok = true;
+  // Intersections proven to satisfy P3. Both disjuncts depend on (Q2, Q)
+  // only through I = Q2 n Q and are monotone in I, so any pair whose
+  // intersection contains a proven one is skipped — pruning never skips a
+  // violating pair, keeping the violation list identical to the naive
+  // checker's.
+  std::vector<ProcessSet> held;
+  for (const QuorumId q2id : qc2_ids_) {
+    const ProcessSet q2 = sets_[q2id];
+    for (QuorumId qid = 0; qid < sets_.size(); ++qid) {
+      const ProcessSet inter = q2 & sets_[qid];
+      if (threshold_) {
+        if (!p3_pair_holds_threshold(inter, qc1_sets_)) {
+          ok = false;
+          out.violations.push_back(PropertyViolation{
+              .property = 3,
+              .q_a = q2id,
+              .q_b = qid,
+              .q_c = kInvalidQuorum,
+              .b1 = {},
+              .b2 = {},
+              .detail = "threshold check: |Q" + std::to_string(q2id) +
+                        " n Q" + std::to_string(qid) + "| = " +
+                        std::to_string(inter.size()) + " < 2k+1 and some"
+                        " class 1 quorum meets the intersection in <= k"
+                        " elements"});
+          if (max != 0 && out.violations.size() >= max) return false;
+        }
+        continue;
+      }
+      const bool pruned = std::any_of(
+          held.begin(), held.end(),
+          [inter](ProcessSet h) { return h.subset_of(inter); });
+      if (pruned) continue;
+      bool pair_ok = true;
+      for (const ProcessSet b : maximal_) {
+        if (p3a(inter, b) || p3b(inter, b, qc1_sets_, qc1_inter_)) continue;
+        pair_ok = false;
+        ok = false;
+        out.violations.push_back(PropertyViolation{
+            .property = 3,
+            .q_a = q2id,
+            .q_b = qid,
+            .q_c = kInvalidQuorum,
+            .b1 = b,
+            .b2 = {},
+            .detail = "neither P3a nor P3b holds for Q2=Q" +
+                      std::to_string(q2id) + ", Q=Q" + std::to_string(qid) +
+                      ", B=" + b.to_string()});
+        if (max != 0 && out.violations.size() >= max) return false;
+      }
+      if (pair_ok) held.push_back(inter);
+    }
+  }
+  return ok;
+}
+
+bool CheckEngine::check_property3_conference() const {
+  std::vector<ProcessSet> held;
+  for (const QuorumId q2id : qc2_ids_) {
+    const ProcessSet q2 = sets_[q2id];
+    for (QuorumId qid = 0; qid < sets_.size(); ++qid) {
+      const ProcessSet inter = q2 & sets_[qid];
+      if (threshold_) {
+        // Under the symmetric threshold adversary the conference and
+        // corrected statements coincide: for-all-B P3a is |I| >= 2k+1 (the
+        // worst B removes k members of I), and for-all-B P3b is
+        // |Q1 n I| >= k+1 for every class 1 quorum.
+        if (!p3_pair_holds_threshold(inter, qc1_sets_)) return false;
+        continue;
+      }
+      const bool pruned = std::any_of(
+          held.begin(), held.end(),
+          [inter](ProcessSet h) { return h.subset_of(inter); });
+      if (pruned) continue;
+      bool all_a = true;
+      bool all_b = true;
+      for (const ProcessSet b : maximal_) {
+        all_a = all_a && p3a(inter, b);
+        all_b = all_b && p3b(inter, b, qc1_sets_, qc1_inter_);
+        if (!all_a && !all_b) return false;
+      }
+      held.push_back(inter);
+    }
+  }
+  return true;
+}
+
+CheckResult CheckEngine::check(std::size_t max_violations) const {
+  CheckResult out;
+  if (!check_property1(out, max_violations) &&
+      max_violations != 0 && out.violations.size() >= max_violations) {
+    return out;
+  }
+  if (!check_property2(out, max_violations) &&
+      max_violations != 0 && out.violations.size() >= max_violations) {
+    return out;
+  }
+  (void)check_property3(out, max_violations);
+  return out;
+}
+
+std::vector<ProcessSet> CheckEngine::gather(std::uint32_t mask) const {
+  std::vector<ProcessSet> out;
+  for (std::size_t j = 0; j < sets_.size(); ++j) {
+    if ((mask >> j) & 1u) out.push_back(sets_[j]);
+  }
+  return out;
+}
+
+bool CheckEngine::property1_holds() const {
+  if (!p1_memo_) {
+    bool ok = true;
+    for (std::size_t a = 0; a < sets_.size() && ok; ++a) {
+      for (std::size_t b = a; b < sets_.size() && ok; ++b) {
+        ok = is_basic(sets_[a] & sets_[b]);
+      }
+    }
+    p1_memo_ = ok;
+  }
+  return *p1_memo_;
+}
+
+bool CheckEngine::property2_holds(std::uint32_t qc1_mask) const {
+  if (p2_memo_.empty()) p2_memo_.assign(std::size_t{1} << sets_.size(), 0);
+  std::uint8_t& memo = p2_memo_[qc1_mask];
+  if (memo != 0) return memo == 1;
+  const std::vector<ProcessSet> qc1_sets = gather(qc1_mask);
+  bool ok = true;
+  for (std::size_t i = 0; i < qc1_sets.size() && ok; ++i) {
+    for (std::size_t j = i; j < qc1_sets.size() && ok; ++j) {
+      const ProcessSet q1q1 = qc1_sets[i] & qc1_sets[j];
+      for (std::size_t c = 0; c < sets_.size() && ok; ++c) {
+        ok = is_large(q1q1 & sets_[c]);
+      }
+    }
+  }
+  memo = ok ? 1 : 2;
+  return ok;
+}
+
+std::uint32_t CheckEngine::property3_rows(std::uint32_t qc1_mask) const {
+  const std::size_t slots = std::size_t{1} << sets_.size();
+  if (rows_known_.empty()) {
+    rows_known_.assign(slots, 0);
+    rows_memo_.assign(slots, 0);
+  }
+  if (rows_known_[qc1_mask]) return rows_memo_[qc1_mask];
+  // Enumeration evaluates rows for many class masks over the same quorum
+  // list; the intersection table amortizes the m^2 masks across them.
+  ensure_pair_table();
+  const std::vector<ProcessSet> qc1_sets = gather(qc1_mask);
+  ProcessSet qc1_inter = ProcessSet::universe(adversary_->universe_size());
+  for (const ProcessSet s : qc1_sets) qc1_inter &= s;
+  std::uint32_t rows = 0;
+  // The held set is shared across rows: P3 for a pair depends only on the
+  // intersection, not on which quorum plays Q2.
+  std::vector<ProcessSet> held;
+  for (std::size_t j = 0; j < sets_.size(); ++j) {
+    bool row_ok = true;
+    for (std::size_t q = 0; q < sets_.size() && row_ok; ++q) {
+      const ProcessSet inter = inter_at(j, q);
+      if (threshold_) {
+        row_ok = p3_pair_holds_threshold(inter, qc1_sets);
+        continue;
+      }
+      const bool pruned = std::any_of(
+          held.begin(), held.end(),
+          [inter](ProcessSet h) { return h.subset_of(inter); });
+      if (pruned) continue;
+      if (p3_pair_holds(inter, qc1_sets, qc1_inter)) {
+        held.push_back(inter);
+      } else {
+        row_ok = false;
+      }
+    }
+    if (row_ok) rows |= std::uint32_t{1} << j;
+  }
+  rows_known_[qc1_mask] = 1;
+  rows_memo_[qc1_mask] = rows;
+  return rows;
+}
+
+}  // namespace rqs

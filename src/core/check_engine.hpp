@@ -1,0 +1,157 @@
+// CheckEngine: the cached RQS property-check engine.
+//
+// The naive checkers in RefinedQuorumSystem re-derive adversary and quorum
+// state on every query — most expensively, check_property3 used to
+// materialize the adversary's maximal-element list inside its per-(Q2, Q)
+// loops, a C(n, k)-sized allocation per quorum pair for threshold
+// adversaries. Every hot caller (protocol probes, construction validators,
+// the Section 6 exhaustive enumeration) funnels through the property
+// checks, so the engine precomputes per-system state exactly once:
+//
+//   * the quorum process-set masks and per-class id lists,
+//   * the intersection of all class 1 quorums (a sufficient fast path for
+//     P3b: if it meets Q2 n Q \ B, every class 1 quorum does),
+//   * the pairwise quorum-intersection masks (small systems only),
+//   * for general adversaries, the cached maximal-element view plus the
+//     maximal pairwise unions that decide Definition 5's *large* predicate,
+//
+// and runs the three property checks with analytic fast paths for
+// threshold adversaries and dominated-intersection pruning for general
+// ones: every Property 3 disjunct depends on (Q2, Q) only through
+// I = Q2 n Q and is monotone in I, so once some I' is known to satisfy the
+// property, any pair with I' subset of I is skipped. Pruning only ever
+// skips *satisfied* pairs, which keeps the engine's verdicts — including
+// the violation list, its order and its rendered details — bit-identical
+// to the naive reference checkers (enforced by tests/check_engine_test.cpp).
+//
+// Two construction modes:
+//   * CheckEngine(const RefinedQuorumSystem&): fixed classes; provides
+//     check()/check_property1/2/3/valid() mirroring the naive interface.
+//     RefinedQuorumSystem::check() and valid() route through this.
+//   * CheckEngine(const Adversary&, std::vector<ProcessSet>): bare quorum
+//     sets; provides the mask-parameterized property queries (memoized)
+//     that classify() and count_classifications() drive while enumerating
+//     class assignments, instead of re-assembling a system per candidate.
+//
+// The engine borrows the adversary (and, in fixed mode, the system's class
+// id vectors); it must not outlive them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/rqs.hpp"
+
+namespace rqs {
+
+class CheckEngine {
+ public:
+  /// Fixed-class engine over an existing system. Borrows `sys` (no copy of
+  /// the adversary); `sys` must outlive the engine.
+  explicit CheckEngine(const RefinedQuorumSystem& sys);
+
+  /// Mask-parameterized engine over bare quorum sets for the class-
+  /// assignment enumerators. At most 20 sets (mask width); every set must
+  /// live inside the adversary's universe.
+  CheckEngine(const Adversary& adversary, std::vector<ProcessSet> sets);
+
+  // --- Fixed-class interface (verdict-identical to the naive checkers). ---
+
+  /// Mirrors RefinedQuorumSystem::check(): P1 then P2 then P3, stopping
+  /// after `max_violations` findings (0 = collect everything).
+  [[nodiscard]] CheckResult check(std::size_t max_violations = 1) const;
+  [[nodiscard]] bool valid() const { return check(1).ok(); }
+
+  bool check_property1(CheckResult& out, std::size_t max) const;
+  bool check_property2(CheckResult& out, std::size_t max) const;
+  bool check_property3(CheckResult& out, std::size_t max) const;
+
+  /// The erroneous conference-version Property 3 (see rqs.hpp).
+  [[nodiscard]] bool check_property3_conference() const;
+
+  // --- Mask-parameterized interface (memoized; mask bit i = quorum i). ---
+
+  /// Property 1 for the quorum list (class-independent). Memoized.
+  [[nodiscard]] bool property1_holds() const;
+
+  /// Property 2 with QC1 = the quorums in `qc1_mask`. Memoized per mask.
+  [[nodiscard]] bool property2_holds(std::uint32_t qc1_mask) const;
+
+  /// Bit j set in the result iff quorum j's Property 3 row (j as the class
+  /// 2 quorum, quantified over all quorums and all of B) holds under
+  /// QC1 = `qc1_mask`. Rows are independent of QC2, so a candidate
+  /// (QC1, QC2) passes Property 3 iff QC2 is a submask of this. Memoized
+  /// per mask.
+  [[nodiscard]] std::uint32_t property3_rows(std::uint32_t qc1_mask) const;
+
+  [[nodiscard]] std::size_t quorum_count() const noexcept { return sets_.size(); }
+
+ private:
+  // Definition 5 queries against the precomputed adversary state.
+  [[nodiscard]] bool is_basic(ProcessSet x) const;
+  [[nodiscard]] bool is_large(ProcessSet x) const;
+
+  // P3 disjuncts on the intersection I = Q2 n Q; `qc1_sets`/`qc1_inter`
+  // describe the class 1 quorums in effect for this query.
+  [[nodiscard]] bool p3a(ProcessSet inter, ProcessSet b) const;
+  [[nodiscard]] bool p3b(ProcessSet inter, ProcessSet b,
+                         std::span<const ProcessSet> qc1_sets,
+                         ProcessSet qc1_inter) const;
+
+  // Full per-pair P3 (general adversary): for all B in the maximal view,
+  // P3a or P3b.
+  [[nodiscard]] bool p3_pair_holds(ProcessSet inter,
+                                   std::span<const ProcessSet> qc1_sets,
+                                   ProcessSet qc1_inter) const;
+
+  // Analytic per-pair P3 for threshold adversaries (Section 2.1 form).
+  [[nodiscard]] bool p3_pair_holds_threshold(
+      ProcessSet inter, std::span<const ProcessSet> qc1_sets) const;
+
+  void init_adversary_state();    // shared ctor tail: threshold/maximal info
+  void build_unions() const;      // lazy: maximal pairwise unions of B
+  void ensure_pair_table() const; // lazy: pairwise intersection masks
+  // Valid only after ensure_pair_table() (callers: property3_rows).
+  [[nodiscard]] ProcessSet inter_at(std::size_t a, std::size_t b) const {
+    return pair_inter_[a * sets_.size() + b];
+  }
+  [[nodiscard]] std::vector<ProcessSet> gather(std::uint32_t mask) const;
+
+  const Adversary* adversary_;
+  std::vector<ProcessSet> sets_;
+
+  // Fixed-class mode state (empty spans in mask mode).
+  std::span<const QuorumId> qc1_ids_;
+  std::span<const QuorumId> qc2_ids_;
+  std::vector<ProcessSet> qc1_sets_;  // class 1 process sets, qc1_ids_ order
+  ProcessSet qc1_inter_;              // intersection of all class 1 quorums
+
+  // Adversary-derived state. For threshold adversaries every query is
+  // analytic and maximal_ stays untouched (never materialized).
+  bool threshold_{false};
+  std::size_t k_{0};
+  std::span<const ProcessSet> maximal_;
+  std::size_t max_elem_size_{0};
+
+  // Pairwise quorum-intersection masks, row-major m*m, lazily built on the
+  // first property3_rows() query (enumeration re-evaluates rows for many
+  // class masks over the same quorum list; the table amortizes the masks
+  // across them; m <= 20 there, so it stays small).
+  mutable std::vector<ProcessSet> pair_inter_;
+
+  // Lazily-built maximal pairwise unions of B (general adversaries), the
+  // exact witness set for is_large.
+  mutable std::vector<ProcessSet> unions_;
+  mutable bool unions_built_{false};
+  mutable std::size_t max_union_size_{0};
+
+  // Mask-mode memoization (indexed by class mask; 0 unknown / 1 yes / 2 no).
+  mutable std::optional<bool> p1_memo_;
+  mutable std::vector<std::uint8_t> p2_memo_;
+  mutable std::vector<std::uint8_t> rows_known_;
+  mutable std::vector<std::uint32_t> rows_memo_;
+};
+
+}  // namespace rqs

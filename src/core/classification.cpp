@@ -1,31 +1,11 @@
 #include "core/classification.hpp"
 
+#include <bit>
 #include <cassert>
 
+#include "core/check_engine.hpp"
+
 namespace rqs {
-
-namespace {
-
-// Builds a RefinedQuorumSystem from sets + a class bitmap pair.
-// Bit i of qc1_mask (qc2_mask) set <=> quorum i is class 1 (class 2).
-RefinedQuorumSystem assemble(const std::vector<ProcessSet>& sets,
-                             const Adversary& adversary,
-                             std::uint32_t qc1_mask, std::uint32_t qc2_mask) {
-  std::vector<Quorum> quorums;
-  quorums.reserve(sets.size());
-  for (std::size_t i = 0; i < sets.size(); ++i) {
-    QuorumClass cls = QuorumClass::Class3;
-    if ((qc1_mask >> i) & 1u) {
-      cls = QuorumClass::Class1;
-    } else if ((qc2_mask >> i) & 1u) {
-      cls = QuorumClass::Class2;
-    }
-    quorums.push_back(Quorum{sets[i], cls});
-  }
-  return RefinedQuorumSystem{adversary, std::move(quorums)};
-}
-
-}  // namespace
 
 ClassificationResult classify(const std::vector<ProcessSet>& quorums,
                               const Adversary& adversary) {
@@ -34,59 +14,36 @@ ClassificationResult classify(const std::vector<ProcessSet>& quorums,
   ClassificationResult best;
   best.classes.assign(m, QuorumClass::Class3);
 
+  const CheckEngine engine{adversary, quorums};
+
   // Property 1 does not depend on classes; reject early if it fails.
-  {
-    const RefinedQuorumSystem plain = assemble(quorums, adversary, 0, 0);
-    CheckResult r;
-    if (!plain.check_property1(r, 1)) return best;
-  }
+  if (!engine.property1_holds()) return best;
   best.property1_ok = true;
 
-  // For each candidate QC1 (subset mask), check Property 2 once, then grow
-  // QC2 greedily: given QC1, Property 3 is checked per class-2 quorum
-  // independently, so the maximal QC2 is exactly the set of quorums whose
-  // P3 row holds (class 1 members are class 2 members by definition and
-  // must pass their own P3 rows too).
-  const std::uint32_t limit = (m >= 32) ? 0xFFFFFFFFu
-                                        : ((std::uint32_t{1} << m) - 1u);
+  // For each candidate QC1 (subset mask), check Property 2 once, then take
+  // the maximal QC2: given QC1, Property 3 is checked per class-2 quorum
+  // independently (P3b only references QC1, P3a only the pair), so the
+  // maximal QC2 is exactly the set of quorums whose P3 row holds — provided
+  // the class 1 members pass their own rows (they are class 2 members by
+  // definition).
+  const std::uint32_t limit = (std::uint32_t{1} << m) - 1u;
   for (std::uint32_t qc1 = 0;; ++qc1) {
-    // Check Property 2 for this QC1.
-    {
-      const RefinedQuorumSystem cand = assemble(quorums, adversary, qc1, qc1);
-      CheckResult r;
-      if (!cand.check_property2(r, 1)) {
-        if (qc1 == limit) break;
-        continue;
-      }
-    }
-    // Greedily find the maximal QC2 containing QC1: a quorum j may be
-    // class 2 iff its P3 row holds with the fixed QC1. P3b only references
-    // QC1, and P3a only the pair (Q2, Q), so rows are independent.
-    std::uint32_t qc2 = qc1;
-    for (std::size_t j = 0; j < m; ++j) {
-      const std::uint32_t bit = std::uint32_t{1} << j;
-      if (qc2 & bit) continue;
-      const RefinedQuorumSystem cand =
-          assemble(quorums, adversary, qc1, qc1 | bit);
-      CheckResult r;
-      if (cand.check_property3(r, 1)) qc2 |= bit;
-    }
-    // Class 1 members must also pass their own P3 rows (they are class 2
-    // members); verify the full assignment before scoring.
-    const RefinedQuorumSystem cand = assemble(quorums, adversary, qc1, qc2);
-    CheckResult r;
-    if (cand.check_property3(r, 1)) {
-      const std::size_t c1 = static_cast<std::size_t>(std::popcount(qc1));
-      const std::size_t c2 = static_cast<std::size_t>(std::popcount(qc2));
-      if (c1 > best.class1_count ||
-          (c1 == best.class1_count && c2 > best.class2_count)) {
-        best.class1_count = c1;
-        best.class2_count = c2;
-        for (std::size_t j = 0; j < m; ++j) {
-          const std::uint32_t bit = std::uint32_t{1} << j;
-          best.classes[j] = (qc1 & bit)   ? QuorumClass::Class1
-                            : (qc2 & bit) ? QuorumClass::Class2
-                                          : QuorumClass::Class3;
+    if (engine.property2_holds(qc1)) {
+      const std::uint32_t rows = engine.property3_rows(qc1);
+      if ((qc1 & ~rows) == 0) {
+        const std::uint32_t qc2 = rows;
+        const std::size_t c1 = static_cast<std::size_t>(std::popcount(qc1));
+        const std::size_t c2 = static_cast<std::size_t>(std::popcount(qc2));
+        if (c1 > best.class1_count ||
+            (c1 == best.class1_count && c2 > best.class2_count)) {
+          best.class1_count = c1;
+          best.class2_count = c2;
+          for (std::size_t j = 0; j < m; ++j) {
+            const std::uint32_t bit = std::uint32_t{1} << j;
+            best.classes[j] = (qc1 & bit)   ? QuorumClass::Class1
+                              : (qc2 & bit) ? QuorumClass::Class2
+                                            : QuorumClass::Class3;
+          }
         }
       }
     }
@@ -99,20 +56,20 @@ std::uint64_t count_classifications(const std::vector<ProcessSet>& quorums,
                                     const Adversary& adversary) {
   assert(quorums.size() <= 20);
   const std::size_t m = quorums.size();
-  {
-    const RefinedQuorumSystem plain = assemble(quorums, adversary, 0, 0);
-    CheckResult r;
-    if (!plain.check_property1(r, 1)) return 0;
-  }
+  const CheckEngine engine{adversary, quorums};
+  if (!engine.property1_holds()) return 0;
   std::uint64_t count = 0;
   const std::uint32_t limit = (std::uint32_t{1} << m) - 1u;
   for (std::uint32_t qc2 = 0;; ++qc2) {
     // Enumerate QC1 as submasks of QC2 (QC1 must be contained in QC2).
+    // property2_holds/property3_rows are memoized per QC1 mask, so each
+    // distinct QC1 is evaluated once across the whole enumeration.
     std::uint32_t qc1 = qc2;
     while (true) {
-      const RefinedQuorumSystem cand = assemble(quorums, adversary, qc1, qc2);
-      CheckResult r;
-      if (cand.check_property2(r, 1) && cand.check_property3(r, 1)) ++count;
+      if (engine.property2_holds(qc1) &&
+          (qc2 & ~engine.property3_rows(qc1)) == 0) {
+        ++count;
+      }
       if (qc1 == 0) break;
       qc1 = (qc1 - 1) & qc2;
     }

@@ -27,8 +27,10 @@ struct ClassificationResult {
 /// quorum process sets under `adversary`, by exhaustive search over QC1
 /// candidates (requires at most 20 quorums) followed by the per-quorum
 /// maximal QC2 (Property 3 is independent per class 2 quorum once QC1 is
-/// fixed). Returns property1_ok = false (and class-3 everywhere) when the
-/// list does not even satisfy Property 1.
+/// fixed). The search drives CheckEngine's memoized mask-parameterized
+/// queries rather than assembling a RefinedQuorumSystem per candidate.
+/// Returns property1_ok = false (and class-3 everywhere) when the list
+/// does not even satisfy Property 1.
 [[nodiscard]] ClassificationResult classify(const std::vector<ProcessSet>& quorums,
                                             const Adversary& adversary);
 

@@ -10,6 +10,13 @@ RefinedQuorumSystem make_threshold_rqs(const ThresholdParams& p) {
   assert(p.n <= 24 && "explicit threshold enumeration is for small systems");
   assert(p.q <= p.r && p.r <= p.t && p.t <= p.n);
   std::vector<Quorum> quorums;
+  // Exact count: sum over missing <= t of C(n, n - missing). Sized up
+  // front so the enumeration below never reallocates.
+  std::size_t total = 0;
+  for (std::size_t missing = 0; missing <= p.t; ++missing) {
+    total += binomial(p.n, p.n - missing);
+  }
+  quorums.reserve(total);
   const ProcessSet everyone = ProcessSet::universe(p.n);
   // All subsets of size >= n - t, classed by how many processes they miss.
   for (std::size_t missing = 0; missing <= p.t; ++missing) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
+
+#include "core/check_engine.hpp"
 
 namespace rqs {
 
@@ -135,6 +138,14 @@ bool RefinedQuorumSystem::check_property3(CheckResult& out, std::size_t max) con
   // sound and complete because both disjuncts are antitone in B: shrinking
   // B can only keep P3a/P3b true (set differences grow, and supersets of
   // basic sets are basic since B is downward closed).
+  //
+  // The maximal-element view is hoisted out of the (Q2, Q) loops: the old
+  // code materialized a fresh vector — C(n, k)-sized for threshold
+  // adversaries — on every quorum pair. Threshold adversaries take the
+  // analytic branch below and never need the view at all.
+  const std::span<const ProcessSet> maximal =
+      adversary_.is_threshold() ? std::span<const ProcessSet>{}
+                                : adversary_.maximal_view();
   for (const QuorumId q2id : qc2_) {
     const ProcessSet q2 = quorums_[q2id].set;
     for (QuorumId qid = 0; qid < quorums_.size(); ++qid) {
@@ -169,7 +180,7 @@ bool RefinedQuorumSystem::check_property3(CheckResult& out, std::size_t max) con
         }
         continue;
       }
-      for (const ProcessSet b : adversary_.maximal_elements()) {
+      for (const ProcessSet b : maximal) {
         if (p3a(q2, q, b) || p3b(q2, q, b)) continue;
         ok = false;
         out.violations.push_back(PropertyViolation{
@@ -193,13 +204,18 @@ bool RefinedQuorumSystem::check_property3_conference() const {
   // Disjunction outside the quantifier over B (the PODC'07 statement,
   // corrected by the journal revision): for every (Q2, Q), either P3a holds
   // for ALL B, or P3b holds for ALL B.
+  //
+  // As in check_property3, the maximal-element view is hoisted out of the
+  // loops; for threshold adversaries it is materialized once into the
+  // adversary's cache instead of once per (Q2, Q) pair.
+  const std::span<const ProcessSet> maximal = adversary_.maximal_view();
   for (const QuorumId q2id : qc2_) {
     const ProcessSet q2 = quorums_[q2id].set;
     for (QuorumId qid = 0; qid < quorums_.size(); ++qid) {
       const ProcessSet q = quorums_[qid].set;
       bool all_a = true;
       bool all_b = true;
-      for (const ProcessSet b : adversary_.maximal_elements()) {
+      for (const ProcessSet b : maximal) {
         all_a = all_a && p3a(q2, q, b);
         all_b = all_b && p3b(q2, q, b);
         if (!all_a && !all_b) return false;
@@ -210,17 +226,10 @@ bool RefinedQuorumSystem::check_property3_conference() const {
 }
 
 CheckResult RefinedQuorumSystem::check(std::size_t max_violations) const {
-  CheckResult out;
-  if (!check_property1(out, max_violations) &&
-      max_violations != 0 && out.violations.size() >= max_violations) {
-    return out;
-  }
-  if (!check_property2(out, max_violations) &&
-      max_violations != 0 && out.violations.size() >= max_violations) {
-    return out;
-  }
-  (void)check_property3(out, max_violations);
-  return out;
+  // Routed through the cached check engine; the check_property* members
+  // above stay as the naive reference oracle the engine is differentially
+  // tested against (tests/check_engine_test.cpp).
+  return CheckEngine{*this}.check(max_violations);
 }
 
 std::string RefinedQuorumSystem::to_string() const {

@@ -122,9 +122,16 @@ class RefinedQuorumSystem {
   [[nodiscard]] bool p3b(ProcessSet q2, ProcessSet q, ProcessSet b) const;
 
   /// Full property check (Definition 2). Stops after `max_violations`
-  /// findings (0 = collect everything).
+  /// findings (0 = collect everything). Routed through CheckEngine
+  /// (core/check_engine.hpp), which precomputes per-system state; callers
+  /// that check one system repeatedly should build a CheckEngine themselves
+  /// and reuse it across calls.
   [[nodiscard]] CheckResult check(std::size_t max_violations = 1) const;
 
+  /// The naive per-property checkers. These are the *reference oracle*:
+  /// straight transcriptions of Definition 2 with no caching, against which
+  /// CheckEngine is differentially tested. Prefer check()/valid() (engine-
+  /// backed) in production paths.
   [[nodiscard]] bool check_property1(CheckResult& out, std::size_t max) const;
   [[nodiscard]] bool check_property2(CheckResult& out, std::size_t max) const;
   [[nodiscard]] bool check_property3(CheckResult& out, std::size_t max) const;

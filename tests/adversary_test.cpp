@@ -19,6 +19,66 @@ TEST(AdversaryTest, ThresholdContains) {
   EXPECT_FALSE(b.contains(ProcessSet{0, 1, 2}));
 }
 
+TEST(AdversaryTest, ThresholdContainsRejectsOutOfUniverseMembers) {
+  // Size alone is not membership: a set reaching outside {0..n-1} is not
+  // an element of B_k, consistently with the general-adversary path where
+  // every maximal element lives inside the universe.
+  const Adversary b = Adversary::threshold(5, 2);
+  EXPECT_TRUE(b.contains(ProcessSet{4}));
+  EXPECT_FALSE(b.contains(ProcessSet{5}));
+  EXPECT_FALSE(b.contains(ProcessSet{4, 5}));
+  EXPECT_FALSE(b.contains(ProcessSet{63}));
+  // is_basic is the negation, so out-of-universe sets are basic.
+  EXPECT_TRUE(b.is_basic(ProcessSet{5}));
+  // is_large agrees with the enumerated general equivalent too: nothing
+  // inside the universe can cover an out-of-universe member.
+  EXPECT_TRUE(b.is_large(ProcessSet{40}));
+  EXPECT_FALSE(b.is_large(ProcessSet{0, 1}));
+  EXPECT_TRUE(Adversary(5, b.maximal_elements()).is_large(ProcessSet{40}));
+  // The general path already behaved this way.
+  const Adversary g{5, {ProcessSet{0, 1}}};
+  EXPECT_FALSE(g.contains(ProcessSet{5}));
+  EXPECT_FALSE(g.contains(ProcessSet{0, 5}));
+}
+
+TEST(AdversaryTest, MaximalViewMatchesMaterializedElements) {
+  // The cached view and the materializing accessor must agree, and the
+  // view must be stable (cached) across calls.
+  const Adversary t = Adversary::threshold(6, 2);
+  const auto materialized = t.maximal_elements();
+  const auto view = t.maximal_view();
+  ASSERT_EQ(materialized.size(), view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(materialized[i], view[i]);
+  }
+  EXPECT_EQ(t.maximal_view().data(), view.data());
+
+  const Adversary g{6, {ProcessSet{0, 1}, ProcessSet{2, 3}}};
+  const auto gview = g.maximal_view();
+  EXPECT_EQ(gview.size(), g.maximal_elements().size());
+}
+
+TEST(AdversaryTest, ForEachMaximalElementNeverMaterializes) {
+  const Adversary t = Adversary::threshold(6, 2);
+  std::set<ProcessSet> seen;
+  t.for_each_maximal_element([&](ProcessSet m) {
+    EXPECT_EQ(m.size(), 2u);
+    seen.insert(m);
+  });
+  EXPECT_EQ(seen.size(), binomial(6, 2));
+  // Early stop works like the other enumerators.
+  std::size_t count = 0;
+  const bool completed =
+      t.for_each_maximal_element([&](ProcessSet) { return ++count < 3; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 3u);
+  // General adversaries iterate the stored list.
+  const Adversary g{5, {ProcessSet{0, 1}, ProcessSet{3}}};
+  std::size_t gcount = 0;
+  g.for_each_maximal_element([&](ProcessSet) { ++gcount; });
+  EXPECT_EQ(gcount, 2u);
+}
+
 TEST(AdversaryTest, ThresholdZeroIsCrashOnly) {
   const Adversary b = Adversary::threshold(5, 0);
   EXPECT_TRUE(b.contains(ProcessSet{}));

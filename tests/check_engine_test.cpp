@@ -1,0 +1,278 @@
+// Differential tests for the cached check engine: on random adversaries
+// (general and threshold) and random quorum systems, CheckEngine must agree
+// with the naive reference checkers verdict for verdict — same ok bit, same
+// violation count, same rendered violations, same early-exit behavior —
+// and the engine-backed classification drivers must agree with brute force
+// over assembled systems.
+#include "core/check_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "core/classification.hpp"
+#include "core/constructions.hpp"
+
+namespace rqs {
+namespace {
+
+Adversary random_general_adversary(Rng& rng, std::size_t n) {
+  std::vector<ProcessSet> maximal;
+  const std::size_t elements =
+      static_cast<std::size_t>(rng.uniform(0, 4));
+  for (std::size_t e = 0; e < elements; ++e) {
+    ProcessSet s;
+    const std::size_t size = static_cast<std::size_t>(rng.uniform(0, 3));
+    while (s.size() < size) {
+      s.insert(static_cast<ProcessId>(
+          rng.uniform(0, static_cast<std::int64_t>(n) - 1)));
+    }
+    maximal.push_back(s);
+  }
+  return Adversary{n, std::move(maximal)};
+}
+
+std::vector<Quorum> random_quorums(Rng& rng, std::size_t n,
+                                   std::size_t count) {
+  std::vector<Quorum> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    ProcessSet s;
+    const std::size_t size = 2 + static_cast<std::size_t>(
+                                     rng.uniform(0, static_cast<std::int64_t>(n) - 2));
+    while (s.size() < size) {
+      s.insert(static_cast<ProcessId>(
+          rng.uniform(0, static_cast<std::int64_t>(n) - 1)));
+    }
+    const int cls = static_cast<int>(rng.uniform(1, 3));
+    out.push_back(Quorum{s, static_cast<QuorumClass>(cls)});
+  }
+  return out;
+}
+
+// The naive check() pipeline (P1 then P2 then P3 with the early-exit rule),
+// reproduced on the reference per-property checkers so the engine-backed
+// RefinedQuorumSystem::check() has an independent oracle.
+CheckResult naive_check(const RefinedQuorumSystem& sys, std::size_t max) {
+  CheckResult out;
+  if (!sys.check_property1(out, max) && max != 0 &&
+      out.violations.size() >= max) {
+    return out;
+  }
+  if (!sys.check_property2(out, max) && max != 0 &&
+      out.violations.size() >= max) {
+    return out;
+  }
+  (void)sys.check_property3(out, max);
+  return out;
+}
+
+void expect_same_verdicts(const RefinedQuorumSystem& sys) {
+  const CheckEngine engine{sys};
+  for (const std::size_t max : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    const CheckResult naive = naive_check(sys, max);
+    const CheckResult cached = engine.check(max);
+    ASSERT_EQ(naive.ok(), cached.ok()) << sys.to_string();
+    ASSERT_EQ(naive.violations.size(), cached.violations.size())
+        << sys.to_string() << "\nmax=" << max;
+    EXPECT_EQ(naive.to_string(), cached.to_string()) << "max=" << max;
+  }
+  EXPECT_EQ(sys.check_property3_conference(),
+            engine.check_property3_conference())
+      << sys.to_string();
+  // The member check() routes through the engine; it must match the oracle.
+  EXPECT_EQ(naive_check(sys, 0).to_string(), sys.check(0).to_string());
+}
+
+class CheckEngineRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckEngineRandomTest, GeneralAdversaryVerdictsMatchNaive) {
+  Rng rng(GetParam());
+  const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform(0, 3));
+  const Adversary adv = random_general_adversary(rng, n);
+  const RefinedQuorumSystem sys{adv, random_quorums(rng, n, 4)};
+  expect_same_verdicts(sys);
+}
+
+TEST_P(CheckEngineRandomTest, ThresholdAdversaryVerdictsMatchNaive) {
+  Rng rng(GetParam() * 17);
+  const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform(0, 3));
+  const std::size_t k = static_cast<std::size_t>(rng.uniform(0, 2));
+  const Adversary adv = Adversary::threshold(n, k);
+  const RefinedQuorumSystem sys{adv, random_quorums(rng, n, 4)};
+  expect_same_verdicts(sys);
+}
+
+TEST_P(CheckEngineRandomTest, ThresholdAndEnumeratedEnginesAgree) {
+  // The analytic threshold fast paths must agree with the same system
+  // checked under the explicitly-enumerated general adversary.
+  Rng rng(GetParam() * 101);
+  const std::size_t n = 5;
+  const std::size_t k = static_cast<std::size_t>(rng.uniform(0, 2));
+  const std::vector<Quorum> quorums = random_quorums(rng, n, 4);
+  const RefinedQuorumSystem analytic{Adversary::threshold(n, k), quorums};
+  const RefinedQuorumSystem enumerated{
+      Adversary{n, Adversary::threshold(n, k).maximal_elements()}, quorums};
+  const CheckEngine ea{analytic};
+  const CheckEngine eb{enumerated};
+  EXPECT_EQ(ea.check(1).ok(), eb.check(1).ok());
+  EXPECT_EQ(ea.check(0).ok(), eb.check(0).ok());
+  EXPECT_EQ(ea.check_property3_conference(), eb.check_property3_conference());
+}
+
+TEST_P(CheckEngineRandomTest, CountClassificationsMatchesBruteForce) {
+  Rng rng(GetParam() * 1009);
+  const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform(0, 1));
+  const Adversary adv = random_general_adversary(rng, n);
+  std::vector<ProcessSet> sets;
+  for (const Quorum& q : random_quorums(rng, n, 3)) sets.push_back(q.set);
+
+  // Brute force over assembled systems with the naive checkers.
+  std::uint64_t expected = 0;
+  const std::size_t m = sets.size();
+  {
+    RefinedQuorumSystem plain{adv, [&] {
+                                std::vector<Quorum> qs;
+                                for (const ProcessSet s : sets)
+                                  qs.push_back(Quorum{s, QuorumClass::Class3});
+                                return qs;
+                              }()};
+    CheckResult r;
+    if (plain.check_property1(r, 1)) {
+      const std::uint32_t limit = (std::uint32_t{1} << m) - 1u;
+      for (std::uint32_t qc2 = 0;; ++qc2) {
+        std::uint32_t qc1 = qc2;
+        while (true) {
+          std::vector<Quorum> qs;
+          for (std::size_t i = 0; i < m; ++i) {
+            QuorumClass cls = QuorumClass::Class3;
+            if ((qc1 >> i) & 1u) {
+              cls = QuorumClass::Class1;
+            } else if ((qc2 >> i) & 1u) {
+              cls = QuorumClass::Class2;
+            }
+            qs.push_back(Quorum{sets[i], cls});
+          }
+          const RefinedQuorumSystem cand{adv, std::move(qs)};
+          CheckResult r2, r3;
+          if (cand.check_property2(r2, 1) && cand.check_property3(r3, 1)) {
+            ++expected;
+          }
+          if (qc1 == 0) break;
+          qc1 = (qc1 - 1) & qc2;
+        }
+        if (qc2 == limit) break;
+      }
+    }
+  }
+  EXPECT_EQ(expected, count_classifications(sets, adv));
+}
+
+TEST_P(CheckEngineRandomTest, ClassifyOutputValidAndScoreOptimal) {
+  Rng rng(GetParam() * 31);
+  const std::size_t n = 5;
+  const Adversary adv = random_general_adversary(rng, n);
+  std::vector<ProcessSet> sets;
+  for (const Quorum& q : random_quorums(rng, n, 3)) sets.push_back(q.set);
+
+  const ClassificationResult got = classify(sets, adv);
+  if (!got.property1_ok) return;
+
+  // The returned assignment must itself pass the naive checkers.
+  std::vector<Quorum> qs;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    qs.push_back(Quorum{sets[i], got.classes[i]});
+  }
+  const RefinedQuorumSystem sys{adv, std::move(qs)};
+  CheckResult r;
+  EXPECT_TRUE(sys.check_property1(r, 0));
+  EXPECT_TRUE(sys.check_property2(r, 0));
+  EXPECT_TRUE(sys.check_property3(r, 0));
+
+  // And its (|QC1|, |QC2|) score must match the brute-force optimum.
+  std::size_t best_c1 = 0, best_c2 = 0;
+  const std::size_t m = sets.size();
+  const std::uint32_t limit = (std::uint32_t{1} << m) - 1u;
+  for (std::uint32_t qc2 = 0;; ++qc2) {
+    std::uint32_t qc1 = qc2;
+    while (true) {
+      std::vector<Quorum> cand_q;
+      for (std::size_t i = 0; i < m; ++i) {
+        QuorumClass cls = QuorumClass::Class3;
+        if ((qc1 >> i) & 1u) {
+          cls = QuorumClass::Class1;
+        } else if ((qc2 >> i) & 1u) {
+          cls = QuorumClass::Class2;
+        }
+        cand_q.push_back(Quorum{sets[i], cls});
+      }
+      const RefinedQuorumSystem cand{adv, std::move(cand_q)};
+      CheckResult r2, r3;
+      if (cand.check_property2(r2, 1) && cand.check_property3(r3, 1)) {
+        const std::size_t c1 = static_cast<std::size_t>(std::popcount(qc1));
+        const std::size_t c2 = static_cast<std::size_t>(std::popcount(qc2));
+        if (c1 > best_c1 || (c1 == best_c1 && c2 > best_c2)) {
+          best_c1 = c1;
+          best_c2 = c2;
+        }
+      }
+      if (qc1 == 0) break;
+      qc1 = (qc1 - 1) & qc2;
+    }
+    if (qc2 == limit) break;
+  }
+  EXPECT_EQ(best_c1, got.class1_count);
+  EXPECT_EQ(best_c2, got.class2_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckEngineRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// --- Deterministic fixtures from the paper. ---
+
+TEST(CheckEngineTest, PaperExamplesMatchNaive) {
+  expect_same_verdicts(make_fig3_example());
+  expect_same_verdicts(make_example7());
+  expect_same_verdicts(make_fig1_fast5());
+  expect_same_verdicts(make_fig1_broken5());
+  expect_same_verdicts(make_3t1_instantiation(2));
+  expect_same_verdicts(make_masking(5, 1, 1));
+  expect_same_verdicts(make_crash_majority(5));
+}
+
+TEST(CheckEngineTest, NoneAndCrashOnlyAdversaries) {
+  // B = {} (Property 1 vacuous) and B = {{}} (crash-only) are the
+  // degenerate corners of the adversary lattice.
+  const std::vector<Quorum> quorums = {
+      Quorum{ProcessSet{0, 1, 2}, QuorumClass::Class1},
+      Quorum{ProcessSet{1, 2, 3}, QuorumClass::Class2},
+      Quorum{ProcessSet{0, 3}, QuorumClass::Class3},
+  };
+  expect_same_verdicts(RefinedQuorumSystem{Adversary::none(4), quorums});
+  expect_same_verdicts(
+      RefinedQuorumSystem{Adversary{4, {ProcessSet{}}}, quorums});
+  expect_same_verdicts(
+      RefinedQuorumSystem{Adversary::threshold(4, 0), quorums});
+}
+
+TEST(CheckEngineTest, ClassificationFixturesUnchanged) {
+  // The engine-backed drivers must reproduce the seeded fixture counts
+  // (also printed by bench_rqs_enumeration).
+  const std::vector<ProcessSet> ex7 = {ProcessSet{1, 3, 4, 5},
+                                       ProcessSet{0, 1, 2, 3, 4},
+                                       ProcessSet{0, 1, 2, 3, 5}};
+  const Adversary adv{6, {ProcessSet{0, 1}, ProcessSet{2, 3}, ProcessSet{1, 3}}};
+  const ClassificationResult r = classify(ex7, adv);
+  EXPECT_TRUE(r.property1_ok);
+  EXPECT_EQ(r.class1_count, 1u);
+
+  const ClassificationResult fig3 = classify(
+      {ProcessSet{4, 5, 6, 7}, ProcessSet{0, 1, 2, 3, 6, 7},
+       ProcessSet{0, 1, 2, 4, 5}, ProcessSet{2, 3, 4, 5, 6}},
+      Adversary::threshold(8, 1));
+  EXPECT_EQ(fig3.class1_count, 1u);
+  EXPECT_EQ(fig3.class2_count, 2u);
+}
+
+}  // namespace
+}  // namespace rqs

@@ -18,6 +18,23 @@ TEST(CombinatoricsTest, BinomialSmall) {
   EXPECT_EQ(binomial(10, 4), 210u);
 }
 
+TEST(CombinatoricsTest, BinomialLargeArgumentsNoIntermediateOverflow) {
+  // The multiply-then-divide recurrence used to overflow uint64_t in the
+  // intermediate `result * (n - i)` for n near 64 even when C(n, k) itself
+  // fits; these central coefficients are the regression witnesses.
+  EXPECT_EQ(binomial(64, 32), 1832624140942590534ULL);
+  EXPECT_EQ(binomial(63, 31), 916312070471295267ULL);
+  EXPECT_EQ(binomial(63, 32), 916312070471295267ULL);
+  EXPECT_EQ(binomial(62, 31), 465428353255261088ULL);
+  EXPECT_EQ(binomial(64, 8), 4426165368ULL);
+  // Pascal's rule at the overflow-prone corner.
+  EXPECT_EQ(binomial(64, 32), binomial(63, 31) + binomial(63, 32));
+  // Symmetry across the whole n = 64 row.
+  for (std::uint64_t k = 0; k <= 64; ++k) {
+    EXPECT_EQ(binomial(64, k), binomial(64, 64 - k)) << "k=" << k;
+  }
+}
+
 TEST(CombinatoricsTest, SubsetsOfSizeCount) {
   for (std::size_t n = 0; n <= 8; ++n) {
     const ProcessSet base = ProcessSet::universe(n);
