@@ -35,6 +35,7 @@ BENCHES=(
   bench_resilience_sweep
   bench_rqs_enumeration
   bench_rqs_verify
+  bench_scenario_swarm
   bench_storage_baselines
   bench_storage_latency
   bench_threshold_bounds

@@ -3,6 +3,46 @@
 namespace rqs::consensus {
 
 ConsensusCluster::ConsensusCluster(RefinedQuorumSystem rqs,
+                                   const ClusterConfig& cfg)
+    : sim_(cfg.delta), rqs_(std::move(rqs)) {
+  config_.rqs = &rqs_;
+  config_.authority = &authority_;
+  config_.acceptors = ProcessSet::universe(rqs_.universe_size());
+  for (std::size_t i = 0; i < cfg.proposer_count; ++i) {
+    config_.proposers.push_back(kFirstProposerId + static_cast<ProcessId>(i));
+  }
+  for (std::size_t i = 0; i < cfg.learner_count; ++i) {
+    config_.learners.insert(kFirstLearnerId + static_cast<ProcessId>(i));
+  }
+  for (ProcessId id = 0; id < rqs_.universe_size(); ++id) {
+    if (cfg.amnesiac_acceptors.contains(id)) {
+      acceptors_.push_back(std::make_unique<AmnesiacAcceptor>(sim_, id, config_));
+    } else if (cfg.prep_liar_acceptors.contains(id)) {
+      acceptors_.push_back(
+          std::make_unique<PrepLiarAcceptor>(sim_, id, config_, cfg.fake_value));
+    } else if (cfg.byzantine_acceptors.contains(id)) {
+      acceptors_.push_back(
+          std::make_unique<ByzantineAcceptor>(sim_, id, config_, cfg.fake_value));
+    } else {
+      acceptors_.push_back(std::make_unique<RqsAcceptor>(sim_, id, config_));
+    }
+  }
+  for (std::size_t i = 0; i < cfg.proposer_count; ++i) {
+    const ProcessId id = config_.proposers[i];
+    if (i == 0 && cfg.byzantine_proposer) {
+      proposers_.push_back(
+          std::make_unique<ByzantineProposer>(sim_, id, config_, cfg.fake_value));
+    } else {
+      proposers_.push_back(std::make_unique<RqsProposer>(sim_, id, config_));
+    }
+  }
+  for (std::size_t i = 0; i < cfg.learner_count; ++i) {
+    learners_.push_back(std::make_unique<RqsLearner>(
+        sim_, kFirstLearnerId + static_cast<ProcessId>(i), config_));
+  }
+}
+
+ConsensusCluster::ConsensusCluster(RefinedQuorumSystem rqs,
                                    std::size_t proposer_count,
                                    std::size_t learner_count,
                                    ProcessSet byzantine_acceptors,
@@ -10,43 +50,11 @@ ConsensusCluster::ConsensusCluster(RefinedQuorumSystem rqs,
                                    sim::SimTime delta,
                                    ProcessSet amnesiac_acceptors,
                                    ProcessSet prep_liar_acceptors)
-    : sim_(delta), rqs_(std::move(rqs)) {
-  config_.rqs = &rqs_;
-  config_.authority = &authority_;
-  config_.acceptors = ProcessSet::universe(rqs_.universe_size());
-  for (std::size_t i = 0; i < proposer_count; ++i) {
-    config_.proposers.push_back(kFirstProposerId + static_cast<ProcessId>(i));
-  }
-  for (std::size_t i = 0; i < learner_count; ++i) {
-    config_.learners.insert(kFirstLearnerId + static_cast<ProcessId>(i));
-  }
-  for (ProcessId id = 0; id < rqs_.universe_size(); ++id) {
-    if (amnesiac_acceptors.contains(id)) {
-      acceptors_.push_back(std::make_unique<AmnesiacAcceptor>(sim_, id, config_));
-    } else if (prep_liar_acceptors.contains(id)) {
-      acceptors_.push_back(
-          std::make_unique<PrepLiarAcceptor>(sim_, id, config_, fake_value));
-    } else if (byzantine_acceptors.contains(id)) {
-      acceptors_.push_back(
-          std::make_unique<ByzantineAcceptor>(sim_, id, config_, fake_value));
-    } else {
-      acceptors_.push_back(std::make_unique<RqsAcceptor>(sim_, id, config_));
-    }
-  }
-  for (std::size_t i = 0; i < proposer_count; ++i) {
-    const ProcessId id = config_.proposers[i];
-    if (i == 0 && byzantine_proposer) {
-      proposers_.push_back(
-          std::make_unique<ByzantineProposer>(sim_, id, config_, fake_value));
-    } else {
-      proposers_.push_back(std::make_unique<RqsProposer>(sim_, id, config_));
-    }
-  }
-  for (std::size_t i = 0; i < learner_count; ++i) {
-    learners_.push_back(std::make_unique<RqsLearner>(
-        sim_, kFirstLearnerId + static_cast<ProcessId>(i), config_));
-  }
-}
+    : ConsensusCluster(std::move(rqs),
+                       ClusterConfig{proposer_count, learner_count,
+                                     byzantine_acceptors, amnesiac_acceptors,
+                                     prep_liar_acceptors, fake_value,
+                                     byzantine_proposer, delta}) {}
 
 void ConsensusCluster::propose(std::size_t i, Value v) {
   if (!first_propose_time_) first_propose_time_ = sim_.now();

@@ -14,12 +14,31 @@
 
 namespace rqs::consensus {
 
+/// Named deployment parameters for a ConsensusCluster. Replaces the
+/// positional-flag constructor that grew one parameter per fault flavor;
+/// the scenario layer (src/scenario/) builds deployments from this struct
+/// directly. The role sets must be disjoint; precedence when they are not:
+/// amnesiac > prep-liar > byzantine.
+struct ClusterConfig {
+  std::size_t proposer_count{1};
+  std::size_t learner_count{1};
+  ProcessSet byzantine_acceptors;   ///< equivocate / lie with fake_value
+  ProcessSet amnesiac_acceptors;    ///< forget accepted state across views
+  ProcessSet prep_liar_acceptors;   ///< lie in the prepare phase
+  Value fake_value{-99};            ///< the value Byzantine roles push
+  bool byzantine_proposer{false};   ///< proposer 0 proposes fake_value twice
+  sim::SimTime delta{sim::kDefaultDelta};
+};
+
 class ConsensusCluster {
  public:
-  /// Creates `proposer_count` proposers (the first is Byzantine when
-  /// `byzantine_proposer`), `learner_count` learners, and one acceptor per
-  /// RQS element; acceptors in `byzantine_acceptors` equivocate/lie with
-  /// `fake_value`.
+  /// Creates `cfg.proposer_count` proposers (the first is Byzantine when
+  /// `cfg.byzantine_proposer`), `cfg.learner_count` learners, and one
+  /// acceptor per RQS element, with fault roles as per `cfg`.
+  ConsensusCluster(RefinedQuorumSystem rqs, const ClusterConfig& cfg);
+
+  /// Legacy positional-flag constructor; thin wrapper over ClusterConfig
+  /// kept so existing call sites compile unchanged.
   ConsensusCluster(RefinedQuorumSystem rqs, std::size_t proposer_count,
                    std::size_t learner_count,
                    ProcessSet byzantine_acceptors = {},

@@ -46,6 +46,26 @@ std::span<const ProcessSet> Adversary::maximal_view() const {
   return threshold_view_;
 }
 
+ProcessSet Adversary::sample_maximal(Rng& rng) const {
+  if (is_threshold()) {
+    // Uniform k-subset of {0..n-1} by a partial Fisher-Yates over ids.
+    ProcessSet out;
+    std::vector<ProcessId> ids(n_);
+    for (std::size_t i = 0; i < n_; ++i) ids[i] = static_cast<ProcessId>(i);
+    for (std::size_t i = 0; i < threshold_k(); ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(static_cast<std::int64_t>(i),
+                      static_cast<std::int64_t>(n_ - 1)));
+      std::swap(ids[i], ids[j]);
+      out.insert(ids[i]);
+    }
+    return out;
+  }
+  if (maximal_.empty()) return {};
+  return maximal_[static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(maximal_.size()) - 1))];
+}
+
 bool Adversary::contains(ProcessSet x) const {
   if (is_threshold()) {
     // Members outside the universe disqualify x, exactly as on the general

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/process_set.hpp"
+#include "common/rng.hpp"
 
 namespace rqs {
 
@@ -78,6 +79,14 @@ class Adversary {
   /// two elements of B. Every large subset contains a basic subset of
   /// benign processes in every execution (Lemma 2).
   [[nodiscard]] bool is_large(ProcessSet x) const;
+
+  /// Draws a uniformly random *maximal* element of B — the worst coalition
+  /// the adversary can field, which is what safety stress tests want to
+  /// instantiate (scenario generators bias Byzantine role assignment toward
+  /// these). Threshold adversaries sample a k-subset directly, without
+  /// materializing the C(n, k) view. Returns the empty set for the
+  /// degenerate adversaries none() and { {} }.
+  [[nodiscard]] ProcessSet sample_maximal(Rng& rng) const;
 
   /// Enumerates every element of B (the full downward closure) and calls
   /// fn(B) for each, stopping early if fn returns false. Exponential in the

@@ -1,0 +1,63 @@
+// ScenarioRunner: materializes a ScenarioSpec into a Simulation, executes
+// it and checks the paper's invariants against what actually happened.
+//
+// Safety is checked unconditionally: storage histories must be atomic
+// (AtomicityChecker), consensus learners and acceptors must agree, and —
+// when the Byzantine assignment is inside the adversary — a learned value
+// must have been proposed (Validity). Liveness is asserted only when the
+// paper promises it: the spec is valid (RQS satisfies Definition 2 and the
+// Byzantine coalition is an element of B) and a fully-correct quorum stays
+// reachable from the operation's client, mirroring the availability
+// predicate of the Theorem 2/5 termination arguments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace rqs::scenario {
+
+/// Verdict of one scenario execution.
+struct ScenarioResult {
+  std::vector<std::string> violations;  ///< invariant violations (empty = pass)
+
+  std::size_t ops_started{0};    ///< workload entries that began an operation
+  std::size_t ops_completed{0};  ///< of those, how many responded
+  std::size_t ops_skipped{0};    ///< entries skipped (client still busy)
+  std::size_t liveness_checked{0};  ///< operations the liveness predicate covered
+
+  std::uint64_t trace_digest{0};  ///< order-sensitive hash of the execution
+  sim::SimTime end_time{0};
+  std::uint64_t messages_delivered{0};
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ScenarioRunner {
+ public:
+  struct Options {
+    /// Virtual Deltas the run is driven past the last scheduled time, so
+    /// delayed messages, view changes and retries settle before verdicts.
+    sim::SimTime storage_drain_deltas{400};
+    sim::SimTime consensus_drain_deltas{2000};
+    bool check_liveness{true};
+  };
+
+  ScenarioRunner() = default;
+  explicit ScenarioRunner(const Options& opts) : opts_(opts) {}
+
+  /// Executes the spec deterministically: equal specs produce equal
+  /// results (including trace_digest), bit for bit.
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec) const;
+
+ private:
+  [[nodiscard]] ScenarioResult run_storage(const ScenarioSpec& spec) const;
+  [[nodiscard]] ScenarioResult run_consensus(const ScenarioSpec& spec) const;
+
+  Options opts_;
+};
+
+}  // namespace rqs::scenario

@@ -25,7 +25,7 @@ class Network {
 
   /// Delay rule: returns the delivery delay for a message, or nullopt to
   /// drop it (equivalently: leave it in transit forever). Rules are
-  /// consulted in installation order; the first engaged result wins.
+  /// consulted newest-first (see add_rule); the first engaged result wins.
   /// If no rule decides, the default delay (one Delta) applies.
   using Rule = std::function<std::optional<std::optional<SimTime>>(
       ProcessId from, ProcessId to, SimTime now, const Message& msg)>;

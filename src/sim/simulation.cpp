@@ -9,29 +9,35 @@
 namespace rqs::sim {
 
 Simulation::Simulation(SimTime delta)
-    : delta_(delta), network_(std::make_unique<Network>(*this)) {}
+    : delta_(delta), network_(std::make_unique<Network>(*this)) {
+  timer_state_.push_back(kTimerFired);  // TimerIds start at 1; slot 0 unused
+}
 
 Simulation::~Simulation() = default;
 
 void Simulation::add_process(Process& p) {
-  assert(processes_.find(p.id()) == processes_.end());
+  if (processes_.size() <= p.id()) processes_.resize(p.id() + 1, nullptr);
+  assert(processes_[p.id()] == nullptr);
   processes_[p.id()] = &p;
 }
 
 Process* Simulation::process(ProcessId id) const {
-  const auto it = processes_.find(id);
-  return it == processes_.end() ? nullptr : it->second;
+  return id < processes_.size() ? processes_[id] : nullptr;
 }
 
-void Simulation::crash(ProcessId id) { crashed_[id] = true; }
+void Simulation::crash(ProcessId id) {
+  if (crashed_.size() <= id) crashed_.resize(id + 1, 0);
+  crashed_[id] = 1;
+}
 
 bool Simulation::crashed(ProcessId id) const {
-  const auto it = crashed_.find(id);
-  return it != crashed_.end() && it->second;
+  return id < crashed_.size() && crashed_[id] != 0;
 }
 
 void Simulation::push(SimTime at, EventPhase phase, std::function<void()> fn) {
-  assert(at >= now_);
+  // Clamp rather than assert: a past-time schedule compiled without asserts
+  // must not reorder the queue behind events that already fired.
+  if (at < now_) at = now_;
   queue_.push(Event{at, phase, next_seq_++, std::move(fn)});
 }
 
@@ -52,11 +58,10 @@ void Simulation::deliver_at(SimTime at, ProcessId from, ProcessId to,
 
 TimerId Simulation::arm_timer(ProcessId owner, SimTime delay) {
   const TimerId id = next_timer_++;
-  timer_cancelled_[id] = false;
+  timer_state_.push_back(kTimerActive);
   push(now_ + delay, EventPhase::kTimer, [this, owner, id] {
-    const auto it = timer_cancelled_.find(id);
-    const bool cancelled = (it == timer_cancelled_.end()) || it->second;
-    timer_cancelled_.erase(id);
+    const bool cancelled = timer_state_[id] != kTimerActive;
+    timer_state_[id] = kTimerFired;
     if (cancelled || crashed(owner)) return;
     Process* p = process(owner);
     if (p != nullptr) p->on_timer(id);
@@ -65,8 +70,9 @@ TimerId Simulation::arm_timer(ProcessId owner, SimTime delay) {
 }
 
 void Simulation::cancel_timer(TimerId id) {
-  const auto it = timer_cancelled_.find(id);
-  if (it != timer_cancelled_.end()) it->second = true;
+  if (id < timer_state_.size() && timer_state_[id] == kTimerActive) {
+    timer_state_[id] = kTimerCancelled;
+  }
 }
 
 bool Simulation::step() {

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <queue>
 #include <vector>
 
@@ -56,8 +55,10 @@ class Simulation {
   void crash(ProcessId id);
   [[nodiscard]] bool crashed(ProcessId id) const;
 
-  /// Schedules an arbitrary callback at absolute virtual time `at`
-  /// (>= now). Used by scenario drivers to inject operations and faults.
+  /// Schedules an arbitrary callback at absolute virtual time `at`; times
+  /// in the past are clamped to now(), so a late caller cannot reorder the
+  /// queue behind already-fired events. Used by scenario drivers to inject
+  /// operations and faults.
   void schedule_at(SimTime at, std::function<void()> fn);
 
   /// Schedules message delivery to `to` at time `at` (used by Network).
@@ -105,15 +106,22 @@ class Simulation {
 
   void push(SimTime at, EventPhase phase, std::function<void()> fn);
 
+  // Timer lifecycle, indexed by TimerId (ids are handed out contiguously
+  // from 1, so the vector doubles as the id -> state map).
+  enum : std::uint8_t { kTimerFired = 0, kTimerActive = 1, kTimerCancelled = 2 };
+
   SimTime now_{0};
   SimTime delta_;
   std::uint64_t next_seq_{0};
   std::uint64_t next_timer_{1};
   std::uint64_t messages_delivered_{0};
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::map<ProcessId, Process*> processes_;
-  std::map<ProcessId, bool> crashed_;
-  std::map<TimerId, bool> timer_cancelled_;
+  // Dense per-process state. ProcessIds are small and contiguous in every
+  // harness (ProcessSet caps them at 64), so vectors keyed by id beat maps
+  // on the delivery hot path; slots for unregistered ids stay null/false.
+  std::vector<Process*> processes_;
+  std::vector<std::uint8_t> crashed_;
+  std::vector<std::uint8_t> timer_state_;  // [0] unused; see kTimer* above
   std::unique_ptr<Network> network_;
 };
 

@@ -4,14 +4,14 @@
 
 namespace rqs::storage {
 
-StorageCluster::StorageCluster(RefinedQuorumSystem rqs, std::size_t reader_count,
-                               ProcessSet byzantine,
-                               ByzantineStorageServer::ForgeFn forge,
-                               sim::SimTime delta)
-    : sim_(delta), rqs_(std::move(rqs)), servers_(ProcessSet::universe(rqs_.universe_size())) {
+StorageCluster::StorageCluster(RefinedQuorumSystem rqs,
+                               const StorageClusterConfig& cfg)
+    : sim_(cfg.delta), rqs_(std::move(rqs)),
+      servers_(ProcessSet::universe(rqs_.universe_size())) {
+  ByzantineStorageServer::ForgeFn forge = cfg.forge;
   if (!forge) forge = ByzantineStorageServer::forget_everything();
   for (ProcessId id = 0; id < rqs_.universe_size(); ++id) {
-    if (byzantine.contains(id)) {
+    if (cfg.byzantine.contains(id)) {
       servers_obj_.push_back(
           std::make_unique<ByzantineStorageServer>(sim_, id, forge));
     } else {
@@ -19,7 +19,7 @@ StorageCluster::StorageCluster(RefinedQuorumSystem rqs, std::size_t reader_count
     }
   }
   writer_ = std::make_unique<RqsWriter>(sim_, kWriterId, rqs_, servers_);
-  for (std::size_t i = 0; i < reader_count; ++i) {
+  for (std::size_t i = 0; i < cfg.reader_count; ++i) {
     readers_.push_back(std::make_unique<RqsReader>(
         sim_, kFirstReaderId + static_cast<ProcessId>(i), rqs_, servers_));
     read_done_.push_back(true);
@@ -27,6 +27,14 @@ StorageCluster::StorageCluster(RefinedQuorumSystem rqs, std::size_t reader_count
     read_invoked_.push_back(0);
   }
 }
+
+StorageCluster::StorageCluster(RefinedQuorumSystem rqs, std::size_t reader_count,
+                               ProcessSet byzantine,
+                               ByzantineStorageServer::ForgeFn forge,
+                               sim::SimTime delta)
+    : StorageCluster(std::move(rqs),
+                     StorageClusterConfig{reader_count, byzantine,
+                                          std::move(forge), delta}) {}
 
 RoundNumber StorageCluster::blocking_write(Value v) {
   async_write(v);

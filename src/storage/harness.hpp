@@ -26,11 +26,23 @@ namespace rqs::storage {
 inline constexpr ProcessId kWriterId = 40;
 inline constexpr ProcessId kFirstReaderId = 41;
 
+/// Named deployment parameters for a StorageCluster; the scenario layer
+/// (src/scenario/) builds deployments from this struct directly.
+struct StorageClusterConfig {
+  std::size_t reader_count{1};
+  ProcessSet byzantine;  ///< servers built as ByzantineStorageServer
+  ByzantineStorageServer::ForgeFn forge;  ///< null = forget_everything()
+  sim::SimTime delta{sim::kDefaultDelta};
+};
+
 class StorageCluster {
  public:
-  /// Creates the cluster. Servers listed in `byzantine` are created as
-  /// ByzantineStorageServer with `forge` (defaults to reporting a blank
-  /// history). Unlisted servers are benign.
+  /// Creates the cluster. Servers listed in `cfg.byzantine` are created as
+  /// ByzantineStorageServer with `cfg.forge`; unlisted servers are benign.
+  StorageCluster(RefinedQuorumSystem rqs, const StorageClusterConfig& cfg);
+
+  /// Legacy positional constructor; thin wrapper over StorageClusterConfig
+  /// kept so existing call sites compile unchanged.
   StorageCluster(RefinedQuorumSystem rqs, std::size_t reader_count,
                  ProcessSet byzantine = {},
                  ByzantineStorageServer::ForgeFn forge = nullptr,

@@ -47,4 +47,15 @@ ByzantineStorageServer::ForgeFn ByzantineStorageServer::fabricate(TsValue pair) 
   };
 }
 
+ByzantineStorageServer::ForgeFn ByzantineStorageServer::equivocate(TsValue even,
+                                                                   TsValue odd) {
+  return [even, odd](const ServerHistory& genuine, ProcessId reader) {
+    const TsValue pair = (reader % 2 == 0) ? even : odd;
+    ServerHistory forged = genuine;
+    forged.slot(pair.ts, 1).pair = pair;
+    forged.slot(pair.ts, 2).pair = pair;
+    return forged;
+  };
+}
+
 }  // namespace rqs::storage

@@ -54,6 +54,9 @@ class ByzantineStorageServer final : public RqsStorageServer {
   [[nodiscard]] static ForgeFn forget_everything();
   /// Reports a history containing a fabricated pair in slots 1 and 2.
   [[nodiscard]] static ForgeFn fabricate(TsValue pair);
+  /// Equivocates: readers with even ids see `even` fabricated, odd ids see
+  /// `odd` — two readers obtain conflicting snapshots from one server.
+  [[nodiscard]] static ForgeFn equivocate(TsValue even, TsValue odd);
 
  protected:
   [[nodiscard]] ServerHistory history_for_reply(ProcessId reader) override {

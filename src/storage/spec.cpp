@@ -24,6 +24,10 @@ void AtomicityChecker::add_write(sim::SimTime invoked, sim::SimTime responded,
   value_to_index_[value] = writes_.size();  // 1-based
 }
 
+void AtomicityChecker::add_pending_write(sim::SimTime invoked, Value value) {
+  add_write(invoked, kNever, value);
+}
+
 void AtomicityChecker::add_read(sim::SimTime invoked, sim::SimTime responded,
                                 Value returned) {
   reads_.push_back(Op{invoked, responded, returned});

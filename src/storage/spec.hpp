@@ -12,7 +12,9 @@
 //       inversion / new-old inversion).
 #pragma once
 
+#include <limits>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,9 +25,19 @@ namespace rqs::storage {
 
 class AtomicityChecker {
  public:
+  /// Sentinel response time of an operation that never completed.
+  static constexpr sim::SimTime kNever = std::numeric_limits<sim::SimTime>::max();
+
   /// Records a completed write (writes must be recorded in the writer's
   /// invocation order; values must be unique across writes).
   void add_write(sim::SimTime invoked, sim::SimTime responded, Value value);
+
+  /// Records a write that was invoked but never completed (its response
+  /// time is kNever). Such a write is concurrent with everything after its
+  /// invocation: reads returning its value are legal, but it never forces
+  /// the no-stale-reads bound. Must be recorded after all completed writes
+  /// (invocation order); at most one can be pending in a SWMR history.
+  void add_pending_write(sim::SimTime invoked, Value value);
 
   /// Records a completed read.
   void add_read(sim::SimTime invoked, sim::SimTime responded, Value returned);
@@ -38,15 +50,20 @@ class AtomicityChecker {
 
   [[nodiscard]] Result check() const;
 
-  [[nodiscard]] std::size_t write_count() const noexcept { return writes_.size(); }
-  [[nodiscard]] std::size_t read_count() const noexcept { return reads_.size(); }
-
- private:
   struct Op {
     sim::SimTime invoked{0};
-    sim::SimTime responded{0};
+    sim::SimTime responded{0};  // kNever for pending writes
     Value value{kBottom};
   };
+
+  [[nodiscard]] std::size_t write_count() const noexcept { return writes_.size(); }
+  [[nodiscard]] std::size_t read_count() const noexcept { return reads_.size(); }
+  /// The recorded operations, in recording order (scenario trace digests
+  /// hash these).
+  [[nodiscard]] std::span<const Op> writes() const noexcept { return writes_; }
+  [[nodiscard]] std::span<const Op> reads() const noexcept { return reads_; }
+
+ private:
   std::vector<Op> writes_;
   std::vector<Op> reads_;
   std::map<Value, std::size_t> value_to_index_;  // write index, 1-based

@@ -181,6 +181,39 @@ TEST(AdversaryTest, LargeImpliesBasicWhenNonTrivial) {
   });
 }
 
+TEST(AdversaryTest, SampleMaximalDrawsMaximalElements) {
+  Rng rng(7);
+  // Threshold: always a k-subset of the universe, no materialization.
+  const Adversary t = Adversary::threshold(9, 3);
+  for (int i = 0; i < 50; ++i) {
+    const ProcessSet s = t.sample_maximal(rng);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(s.subset_of(ProcessSet::universe(9)));
+    EXPECT_TRUE(t.contains(s));
+  }
+  // General: always one of the stored maximal elements; all are reachable.
+  const Adversary g{6, {ProcessSet{0, 1}, ProcessSet{2, 3}, ProcessSet{1, 3}}};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    const ProcessSet s = g.sample_maximal(rng);
+    EXPECT_TRUE(s == ProcessSet({0, 1}) || s == ProcessSet({2, 3}) ||
+                s == ProcessSet({1, 3}));
+    seen.insert(s.mask());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+  // Degenerate adversaries yield the empty coalition.
+  EXPECT_TRUE(Adversary::none(5).sample_maximal(rng).empty());
+  EXPECT_TRUE(Adversary::threshold(5, 0).sample_maximal(rng).empty());
+}
+
+TEST(AdversaryTest, SampleMaximalIsSeedDeterministic) {
+  const Adversary t = Adversary::threshold(12, 4);
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(t.sample_maximal(a).mask(), t.sample_maximal(b).mask());
+  }
+}
+
 TEST(AdversaryTest, ToStringMentionsStructure) {
   EXPECT_NE(Adversary::threshold(7, 2).to_string().find("B_2"), std::string::npos);
   const Adversary g{4, {ProcessSet{0, 1}}};

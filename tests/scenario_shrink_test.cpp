@@ -1,0 +1,115 @@
+// Schedule shrinking: a planted atomicity bug — an amnesiac Byzantine
+// server *outside* the adversary's power (fast5 tolerates crashes only) —
+// buried in a padded schedule must shrink to a <= 3-entry reproducer that
+// still violates.
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+#include "scenario/shrink.hpp"
+
+namespace rqs::scenario {
+namespace {
+
+constexpr sim::SimTime kD = sim::kDefaultDelta;
+
+ScheduleEntry write_at(sim::SimTime at, Value v, ProcessSet via = {}) {
+  ScheduleEntry e;
+  e.kind = ScheduleEntry::Kind::kWrite;
+  e.at = at;
+  e.value = v;
+  e.reachable = via;
+  return e;
+}
+
+ScheduleEntry read_at(sim::SimTime at, std::size_t reader, ProcessSet via = {}) {
+  ScheduleEntry e;
+  e.kind = ScheduleEntry::Kind::kRead;
+  e.at = at;
+  e.client = reader;
+  e.reachable = via;
+  return e;
+}
+
+/// The planted-bug scenario: server 0 plays amnesiac (forged blank history)
+/// although fast5's adversary is crash-only, so B = { {} } cannot mask it.
+/// The write lands on {0,1,2}; reader 0 later reads via {0,3,4}, where only
+/// the liar has the value — a stale read. Entries 3..7 are noise.
+ScenarioSpec planted_amnesia_spec() {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kStorage;
+  spec.family = SystemFamily::kFast5;
+  spec.byzantine = ProcessSet{0};
+  spec.role = FaultRole::kAmnesiac;
+  spec.schedule.push_back(write_at(0, 1, ProcessSet{0, 1, 2}));
+  spec.schedule.push_back(read_at(10 * kD, 0, ProcessSet{0, 3, 4}));
+  // Noise: a benign read, a late crash, a bounded partition, a late write.
+  spec.schedule.push_back(read_at(20 * kD, 1));
+  ScheduleEntry crash;
+  crash.kind = ScheduleEntry::Kind::kCrash;
+  crash.at = 30 * kD;
+  crash.target = 1;
+  spec.schedule.push_back(crash);
+  ScheduleEntry part;
+  part.kind = ScheduleEntry::Kind::kPartition;
+  part.at = 25 * kD;
+  part.until = 28 * kD;
+  part.side_a = ProcessSet{3};
+  part.side_b = ProcessSet{4};
+  spec.schedule.push_back(part);
+  spec.schedule.push_back(write_at(40 * kD, 2));
+  return spec;
+}
+
+TEST(ShrinkTest, PlantedAtomicityBugShrinksToThreeEntriesOrFewer) {
+  const ScenarioSpec spec = planted_amnesia_spec();
+  const ScenarioRunner runner;
+
+  // The padded scenario violates atomicity (stale read via the liar).
+  const ScenarioResult full = runner.run(spec);
+  ASSERT_FALSE(full.ok()) << "planted bug did not fire";
+  bool atomicity = false;
+  for (const std::string& v : full.violations) {
+    if (v.find("atomicity") != std::string::npos) atomicity = true;
+  }
+  EXPECT_TRUE(atomicity) << full.to_string();
+
+  const ShrinkResult shrunk = shrink(spec, runner);
+  EXPECT_TRUE(shrunk.violating);
+  EXPECT_EQ(shrunk.entries_before, 6u);
+  EXPECT_LE(shrunk.entries_after, 3u) << shrunk.spec.to_string();
+  EXPECT_FALSE(runner.run(shrunk.spec).ok());
+  // The two load-bearing entries must have survived.
+  bool has_write = false, has_read = false;
+  for (const ScheduleEntry& e : shrunk.spec.schedule) {
+    has_write |= e.kind == ScheduleEntry::Kind::kWrite && e.value == 1;
+    has_read |= e.kind == ScheduleEntry::Kind::kRead && e.client == 0;
+  }
+  EXPECT_TRUE(has_write);
+  EXPECT_TRUE(has_read);
+}
+
+TEST(ShrinkTest, NonViolatingSpecIsReturnedUntouched) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kStorage;
+  spec.family = SystemFamily::kFast5;
+  spec.schedule.push_back(write_at(0, 1));
+  spec.schedule.push_back(read_at(5 * kD, 0));
+  const ScenarioRunner runner;
+  ASSERT_TRUE(runner.run(spec).ok());
+  const ShrinkResult s = shrink(spec, runner);
+  EXPECT_FALSE(s.violating);
+  EXPECT_EQ(s.entries_after, spec.schedule.size());
+  EXPECT_EQ(s.runs, 1u);
+}
+
+TEST(ShrinkTest, ShrinkingIsDeterministic) {
+  const ScenarioSpec spec = planted_amnesia_spec();
+  const ScenarioRunner runner;
+  const ShrinkResult a = shrink(spec, runner);
+  const ShrinkResult b = shrink(spec, runner);
+  EXPECT_EQ(a.spec.to_string(), b.spec.to_string());
+  EXPECT_EQ(a.runs, b.runs);
+}
+
+}  // namespace
+}  // namespace rqs::scenario

@@ -128,6 +128,24 @@ TEST(SimTest, ScheduledCallbacksRunInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(SimTest, PastTimeScheduleClampsToNowWithoutReordering) {
+  // Regression: scheduling behind the virtual clock used to corrupt the
+  // queue order in builds without asserts (the event would sort before
+  // already-fired times). The clamp pins it to now(), after events already
+  // queued for now() in the same phase.
+  Simulation sim(10);
+  std::vector<int> order;
+  sim.schedule_at(50, [&] {
+    order.push_back(1);
+    sim.schedule_at(0, [&] { order.push_back(2); });   // in the past: clamp
+    sim.schedule_at(50, [&] { order.push_back(3); });  // same instant, later seq
+  });
+  sim.schedule_at(60, [&] { order.push_back(4); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 60);
+}
+
 TEST(SimTest, RunRespectsDeadline) {
   Simulation sim(10);
   bool late = false;
