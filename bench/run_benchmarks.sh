@@ -38,6 +38,7 @@ BENCHES=(
   bench_scenario_swarm
   bench_storage_baselines
   bench_storage_latency
+  bench_storage_scale
   bench_threshold_bounds
   bench_view_change
 )

@@ -19,9 +19,37 @@ using ProcessId = std::uint32_t;
 
 inline constexpr ProcessId kInvalidProcess = std::numeric_limits<ProcessId>::max();
 
-/// Logical write timestamp (the writer's monotonically increasing counter).
-/// Timestamp 0 is reserved for the initial pair <0, bottom>.
-using Timestamp = std::uint64_t;
+/// Identifier of a stored object (register). The paper's storage manages a
+/// single shared variable; the implementation generalizes to a keyed space
+/// of independent SWMR registers multiplexed over one server fleet. Key 0
+/// is the default register, so single-object code never mentions keys.
+using ObjectId = std::uint32_t;
+
+/// Logical write timestamp. The paper assumes a single writer with a
+/// monotonically increasing counter; we order timestamps lexicographically
+/// by (seq, writer) so that two writers sharing a key can never emit the
+/// *same* timestamp for different values (the silent-collision bug the
+/// single-integer encoding had). Sequence 0 with writer 0 is reserved for
+/// the initial pair <0, bottom>; the implicit constructor keeps literal
+/// timestamps (`Timestamp{3}`, `at(1, rnd)`) meaning "seq by writer 0".
+struct Timestamp {
+  std::uint64_t seq{0};
+  std::uint32_t writer{0};
+
+  constexpr Timestamp() = default;
+  constexpr Timestamp(std::uint64_t s) : seq(s) {}  // NOLINT(google-explicit-constructor)
+  constexpr Timestamp(std::uint64_t s, std::uint32_t w) : seq(s), writer(w) {}
+
+  friend constexpr bool operator==(const Timestamp&, const Timestamp&) = default;
+  /// Lexicographic (seq, writer); used for highest-candidate selection and
+  /// as the history-row ordering.
+  friend constexpr auto operator<=>(const Timestamp&, const Timestamp&) = default;
+};
+
+[[nodiscard]] inline std::string to_string(const Timestamp& ts) {
+  return ts.writer == 0 ? std::to_string(ts.seq)
+                        : std::to_string(ts.seq) + "." + std::to_string(ts.writer);
+}
 
 /// Consensus view number. View 0 is the paper's `initView`.
 using ViewNumber = std::uint64_t;
@@ -61,7 +89,7 @@ struct TsValue {
 inline constexpr TsValue kInitialPair{0, kBottom};
 
 [[nodiscard]] inline std::string to_string(const TsValue& c) {
-  return "<" + std::to_string(c.ts) + "," + value_to_string(c.val) + ">";
+  return "<" + to_string(c.ts) + "," + value_to_string(c.val) + ">";
 }
 
 }  // namespace rqs

@@ -30,23 +30,23 @@ struct Ballot {
 
 struct P1aMsg final : sim::Message {
   Ballot ballot;
-  [[nodiscard]] std::string tag() const override { return "P1A"; }
+  [[nodiscard]] std::string_view tag() const override { return "P1A"; }
 };
 struct P1bMsg final : sim::Message {
   Ballot ballot;                       // the promised ballot
   std::optional<Ballot> accepted_ballot;
   Value accepted_value{kBottom};
-  [[nodiscard]] std::string tag() const override { return "P1B"; }
+  [[nodiscard]] std::string_view tag() const override { return "P1B"; }
 };
 struct P2aMsg final : sim::Message {
   Ballot ballot;
   Value value{kBottom};
-  [[nodiscard]] std::string tag() const override { return "P2A"; }
+  [[nodiscard]] std::string_view tag() const override { return "P2A"; }
 };
 struct P2bMsg final : sim::Message {
   Ballot ballot;
   Value value{kBottom};
-  [[nodiscard]] std::string tag() const override { return "P2B"; }
+  [[nodiscard]] std::string_view tag() const override { return "P2B"; }
 };
 
 class PaxosAcceptor final : public sim::Process {

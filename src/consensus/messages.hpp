@@ -88,7 +88,7 @@ struct PrepareMsg final : sim::Message {
   ViewNumber view{0};
   VProof vproof;           // empty (nil) in initView
   ProcessSet vproof_quorum;  // the quorum Q the vProof came from
-  [[nodiscard]] std::string tag() const override { return "PREPARE"; }
+  [[nodiscard]] std::string_view tag() const override { return "PREPARE"; }
 };
 
 struct UpdateMsg final : sim::Message {
@@ -96,52 +96,57 @@ struct UpdateMsg final : sim::Message {
   Value value{kNil};
   ViewNumber view{0};
   QuorumId quorum{kInvalidQuorum};  // update2/update3 carry the quorum id
-  [[nodiscard]] std::string tag() const override {
-    return "UPDATE" + std::to_string(step);
+  [[nodiscard]] std::string_view tag() const override {
+    switch (step) {
+      case 1: return "UPDATE1";
+      case 2: return "UPDATE2";
+      case 3: return "UPDATE3";
+      default: return "UPDATE?";
+    }
   }
 };
 
 struct NewViewMsg final : sim::Message {
   ViewNumber view{0};
   std::vector<SignedViewChange> view_proof;
-  [[nodiscard]] std::string tag() const override { return "NEW_VIEW"; }
+  [[nodiscard]] std::string_view tag() const override { return "NEW_VIEW"; }
 };
 
 struct NewViewAckMsg final : sim::Message {
   NewViewAckData data;
   ProcessId signer{kInvalidProcess};
   sim::Signature signature;
-  [[nodiscard]] std::string tag() const override { return "NEW_VIEW_ACK"; }
+  [[nodiscard]] std::string_view tag() const override { return "NEW_VIEW_ACK"; }
 };
 
 struct SignReqMsg final : sim::Message {
   Value value{kNil};
   ViewNumber view{0};
   RoundNumber step{1};
-  [[nodiscard]] std::string tag() const override { return "SIGN_REQ"; }
+  [[nodiscard]] std::string_view tag() const override { return "SIGN_REQ"; }
 };
 
 struct SignAckMsg final : sim::Message {
   SignedUpdate update;
-  [[nodiscard]] std::string tag() const override { return "SIGN_ACK"; }
+  [[nodiscard]] std::string_view tag() const override { return "SIGN_ACK"; }
 };
 
 struct ViewChangeMsg final : sim::Message {
   SignedViewChange change;
-  [[nodiscard]] std::string tag() const override { return "VIEW_CHANGE"; }
+  [[nodiscard]] std::string_view tag() const override { return "VIEW_CHANGE"; }
 };
 
 struct DecisionMsg final : sim::Message {
   Value value{kNil};
-  [[nodiscard]] std::string tag() const override { return "DECISION"; }
+  [[nodiscard]] std::string_view tag() const override { return "DECISION"; }
 };
 
 struct DecisionPullMsg final : sim::Message {
-  [[nodiscard]] std::string tag() const override { return "DECISION_PULL"; }
+  [[nodiscard]] std::string_view tag() const override { return "DECISION_PULL"; }
 };
 
 struct SyncMsg final : sim::Message {
-  [[nodiscard]] std::string tag() const override { return "SYNC"; }
+  [[nodiscard]] std::string_view tag() const override { return "SYNC"; }
 };
 
 }  // namespace rqs::consensus

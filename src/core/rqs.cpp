@@ -42,6 +42,12 @@ RefinedQuorumSystem::RefinedQuorumSystem(Adversary adversary,
         break;
     }
   }
+  quorums_containing_.resize(universe_size());
+  for (QuorumId id = 0; id < quorums_.size(); ++id) {
+    for (const ProcessId member : quorums_[id].set) {
+      quorums_containing_[member].push_back(id);
+    }
+  }
 }
 
 std::vector<QuorumId> RefinedQuorumSystem::all_ids() const {

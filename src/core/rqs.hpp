@@ -106,6 +106,14 @@ class RefinedQuorumSystem {
   [[nodiscard]] bool has_class1() const noexcept { return !qc1_.empty(); }
   [[nodiscard]] bool has_class2() const noexcept { return !qc2_.empty(); }
 
+  /// Ids of the quorums containing process i — the inverted membership
+  /// index, precomputed once per system. Protocols use it to extend
+  /// "which quorums have fully responded" incrementally: an ack from i
+  /// can only complete quorums_containing(i).
+  [[nodiscard]] const std::vector<QuorumId>& quorums_containing(ProcessId i) const {
+    return quorums_containing_.at(i);
+  }
+
   /// First quorum id whose process set equals `s`, if any.
   [[nodiscard]] std::optional<QuorumId> find(ProcessSet s) const;
 
@@ -152,6 +160,7 @@ class RefinedQuorumSystem {
   std::vector<Quorum> quorums_;
   std::vector<QuorumId> qc1_;
   std::vector<QuorumId> qc2_;
+  std::vector<std::vector<QuorumId>> quorums_containing_;  // by ProcessId
 };
 
 }  // namespace rqs

@@ -1,5 +1,7 @@
 #include "scenario/generator.hpp"
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "consensus/config.hpp"
 #include "storage/harness.hpp"
@@ -106,14 +108,23 @@ ScenarioSpec ScenarioGenerator::generate(std::uint64_t seed) const {
 
   // Client workload.
   if (spec.protocol == Protocol::kStorage) {
+    if (opts_.max_keys > 1) {
+      // Clamp to the client-id layout capacity: ids 40 + key*(1+readers)
+      // must stay below ProcessSet::kMaxProcesses = 64.
+      const std::size_t fit =
+          (ProcessSet::kMaxProcesses - storage::kWriterId) /
+          (1 + spec.reader_count);
+      spec.key_count = pick_size(rng, 1, std::min(opts_.max_keys, fit));
+    }
     const std::size_t ops = pick_size(rng, opts_.min_ops, opts_.max_ops);
     Value next_value = 1;
     for (std::size_t i = 0; i < ops; ++i) {
       ScheduleEntry e;
       e.at = time_in(0, horizon);
+      e.key = static_cast<ObjectId>(pick_size(rng, 0, spec.key_count - 1));
       if (rng.chance(0.4)) {
         e.kind = ScheduleEntry::Kind::kWrite;
-        e.value = next_value++;
+        e.value = next_value++;  // values stay unique across keys
       } else {
         e.kind = ScheduleEntry::Kind::kRead;
         e.client = pick_size(rng, 0, spec.reader_count - 1);
@@ -173,9 +184,11 @@ ScenarioSpec ScenarioGenerator::generate(std::uint64_t seed) const {
     if (rng.chance(0.6)) {
       ProcessId client;
       if (spec.protocol == Protocol::kStorage) {
+        const auto key = static_cast<ObjectId>(pick_size(rng, 0, spec.key_count - 1));
         const std::size_t c = pick_size(rng, 0, spec.reader_count);
-        client = c == 0 ? storage::kWriterId
-                        : storage::kFirstReaderId + static_cast<ProcessId>(c - 1);
+        client = c == 0
+                     ? storage::writer_client_id(key, spec.reader_count)
+                     : storage::reader_client_id(key, c - 1, spec.reader_count);
       } else {
         client = consensus::kFirstLearnerId +
                  static_cast<ProcessId>(pick_size(rng, 0, spec.learner_count - 1));

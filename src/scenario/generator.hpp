@@ -23,6 +23,11 @@ class ScenarioGenerator {
     /// Protocols to draw from (empty = both).
     std::vector<Protocol> protocols;
 
+    /// Maximum keys of the register space a storage scenario may use; the
+    /// key count is drawn in [1, max_keys] and every kWrite/kRead entry is
+    /// assigned a key. 1 keeps the paper's single shared variable.
+    std::size_t max_keys{1};
+
     double byzantine_probability{0.6};  ///< P[assign a Byzantine coalition]
     double maximal_bias{0.75};  ///< P[coalition = full maximal element of B]
     double restricted_op_probability{0.45};  ///< P[op gets a visibility set]

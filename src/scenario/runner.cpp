@@ -41,6 +41,7 @@ std::vector<ScheduleEntry> sorted_schedule(const ScenarioSpec& spec) {
 struct OpRecord {
   ScheduleEntry::Kind kind{ScheduleEntry::Kind::kWrite};
   std::size_t client{0};     // reader/proposer index; unused for writes
+  ObjectId key{0};           // storage: the register operated on
   std::size_t entry_pos{0};  // position in the *sorted* schedule
   sim::SimTime invoked{0};
   Value value{kBottom};
@@ -135,11 +136,13 @@ bool apply_fault_entry(sim::Simulation& sim, const ScheduleEntry& e,
 ProcessSet client_reachable(const std::vector<ScheduleEntry>& entries,
                             ProcessSet servers, ProcessId client_id,
                             ScheduleEntry::Kind kind, std::size_t client,
-                            std::size_t entry_pos, sim::SimTime invoked) {
+                            ObjectId key, std::size_t entry_pos,
+                            sim::SimTime invoked) {
   ProcessSet vis = servers;
   for (std::size_t j = entry_pos; j < entries.size(); ++j) {
     const ScheduleEntry& e = entries[j];
-    if (e.kind == kind && e.client == client && !e.reachable.empty()) {
+    if (e.kind == kind && e.client == client && e.key == key &&
+        !e.reachable.empty()) {
       vis &= e.reachable;
     }
   }
@@ -201,6 +204,8 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
 
   storage::StorageClusterConfig cfg;
   cfg.reader_count = spec.reader_count;
+  cfg.key_count = spec.key_count;
+  cfg.compact_history = opts_.compact_history;
   cfg.byzantine = byz;
   switch (spec.role) {
     case FaultRole::kFabricator:
@@ -228,24 +233,26 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
       if (apply_fault_entry(sim, e, n, loss_rng)) return;
       switch (e.kind) {
         case ScheduleEntry::Kind::kWrite:
-          if (!cluster.write_done()) {
+          if (e.key >= spec.key_count || !cluster.write_done(e.key)) {
             ++res.ops_skipped;
             return;
           }
-          visibility.apply(storage::kWriterId, e.reachable);
-          ops.push_back({e.kind, 0, i, sim.now(), e.value, false});
-          cluster.async_write(e.value);
+          visibility.apply(storage::writer_client_id(e.key, spec.reader_count),
+                           e.reachable);
+          ops.push_back({e.kind, 0, e.key, i, sim.now(), e.value, false});
+          cluster.async_write(e.key, e.value);
           break;
         case ScheduleEntry::Kind::kRead:
-          if (e.client >= spec.reader_count || !cluster.read_done(e.client)) {
+          if (e.key >= spec.key_count || e.client >= spec.reader_count ||
+              !cluster.read_done(e.key, e.client)) {
             ++res.ops_skipped;
             return;
           }
           visibility.apply(
-              storage::kFirstReaderId + static_cast<ProcessId>(e.client),
+              storage::reader_client_id(e.key, e.client, spec.reader_count),
               e.reachable);
-          ops.push_back({e.kind, e.client, i, sim.now(), kBottom, false});
-          cluster.async_read(e.client);
+          ops.push_back({e.kind, e.client, e.key, i, sim.now(), kBottom, false});
+          cluster.async_read(e.key, e.client);
           break;
         default:
           ++res.ops_skipped;  // kPropose in a storage scenario
@@ -263,33 +270,41 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
   // Mark completions: ops of one client finish in order, so only each
   // client's last operation can still be in flight.
   for (OpRecord& op : ops) op.completed = true;
-  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
-    if (it->kind == ScheduleEntry::Kind::kWrite) {
-      if (!cluster.write_done()) {
+  for (ObjectId key = 0; key < spec.key_count; ++key) {
+    if (cluster.write_done(key)) continue;
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      if (it->kind == ScheduleEntry::Kind::kWrite && it->key == key) {
         it->completed = false;
-        cluster.checker().add_pending_write(it->invoked, it->value);
+        cluster.checker(key).add_pending_write(it->invoked, it->value);
+        break;
       }
-      break;
     }
   }
-  for (std::size_t r = 0; r < spec.reader_count; ++r) {
-    if (cluster.read_done(r)) continue;
-    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
-      if (it->kind == ScheduleEntry::Kind::kRead && it->client == r) {
-        it->completed = false;
-        break;
+  for (ObjectId key = 0; key < spec.key_count; ++key) {
+    for (std::size_t r = 0; r < spec.reader_count; ++r) {
+      if (cluster.read_done(key, r)) continue;
+      for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+        if (it->kind == ScheduleEntry::Kind::kRead && it->client == r &&
+            it->key == key) {
+          it->completed = false;
+          break;
+        }
       }
     }
   }
   res.ops_started = ops.size();
   for (const OpRecord& op : ops) res.ops_completed += op.completed ? 1 : 0;
 
-  // Safety: the complete history (with the pending write, if any) must be
-  // atomic — unconditionally, even for invalid specs (that is the point of
-  // planted-bug scenarios).
-  const auto atomicity = cluster.checker().check();
-  for (const std::string& v : atomicity.violations) {
-    res.violations.push_back("atomicity: " + v);
+  // Safety: every key's complete history (with its pending write, if any)
+  // must be atomic — unconditionally, even for invalid specs (that is the
+  // point of planted-bug scenarios).
+  for (ObjectId key = 0; key < spec.key_count; ++key) {
+    const auto atomicity = cluster.checker(key).check();
+    for (const std::string& v : atomicity.violations) {
+      res.violations.push_back(
+          spec.key_count == 1 ? "atomicity: " + v
+                              : "atomicity key " + std::to_string(key) + ": " + v);
+    }
   }
 
   // Liveness, only where Theorem 2-style termination applies: valid RQS,
@@ -302,11 +317,11 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
     for (const OpRecord& op : ops) {
       const ProcessId client_id =
           op.kind == ScheduleEntry::Kind::kWrite
-              ? storage::kWriterId
-              : storage::kFirstReaderId + static_cast<ProcessId>(op.client);
+              ? storage::writer_client_id(op.key, spec.reader_count)
+              : storage::reader_client_id(op.key, op.client, spec.reader_count);
       const ProcessSet vis =
           client_reachable(entries, servers, client_id, op.kind, op.client,
-                           op.entry_pos, op.invoked);
+                           op.key, op.entry_pos, op.invoked);
       if (!sys.best_available(vis & correct)) continue;  // nothing promised
       ++res.liveness_checked;
       if (!op.completed) {
@@ -320,15 +335,18 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
   std::uint64_t h = kFnvOffset;
   fnv(h, static_cast<std::uint64_t>(spec.protocol));
   fnv(h, static_cast<std::uint64_t>(spec.family));
-  for (const auto& w : cluster.checker().writes()) {
-    fnv(h, static_cast<std::uint64_t>(w.invoked));
-    fnv(h, static_cast<std::uint64_t>(w.responded));
-    fnv(h, static_cast<std::uint64_t>(w.value));
-  }
-  for (const auto& r : cluster.checker().reads()) {
-    fnv(h, static_cast<std::uint64_t>(r.invoked));
-    fnv(h, static_cast<std::uint64_t>(r.responded));
-    fnv(h, static_cast<std::uint64_t>(r.value));
+  for (ObjectId key = 0; key < spec.key_count; ++key) {
+    fnv(h, key);
+    for (const auto& w : cluster.checker(key).writes()) {
+      fnv(h, static_cast<std::uint64_t>(w.invoked));
+      fnv(h, static_cast<std::uint64_t>(w.responded));
+      fnv(h, static_cast<std::uint64_t>(w.value));
+    }
+    for (const auto& r : cluster.checker(key).reads()) {
+      fnv(h, static_cast<std::uint64_t>(r.invoked));
+      fnv(h, static_cast<std::uint64_t>(r.responded));
+      fnv(h, static_cast<std::uint64_t>(r.value));
+    }
   }
   fnv(h, res.messages_delivered);
   fnv(h, static_cast<std::uint64_t>(res.end_time));
@@ -371,7 +389,7 @@ ScenarioResult ScenarioRunner::run_consensus(const ScenarioSpec& spec) const {
         return;
       }
       proposed[e.client] = true;
-      proposals.push_back({e.kind, e.client, i, sim.now(), e.value, false});
+      proposals.push_back({e.kind, e.client, 0, i, sim.now(), e.value, false});
       cluster.propose(e.client, e.value);
     });
   }

@@ -44,6 +44,10 @@ class ScenarioRunner {
     sim::SimTime storage_drain_deltas{400};
     sim::SimTime consensus_drain_deltas{2000};
     bool check_liveness{true};
+    /// Storage servers bound their histories (the production default).
+    /// false retains the paper's full-history storage; the differential
+    /// suite runs every spec both ways and requires identical digests.
+    bool compact_history{true};
   };
 
   ScenarioRunner() = default;

@@ -66,10 +66,12 @@ std::string ScheduleEntry::to_string() const {
   switch (kind) {
     case Kind::kWrite:
       out += "write(" + value_to_string(value) + ")";
+      if (key != 0) out += " key " + std::to_string(key);
       if (!reachable.empty()) out += " via " + reachable.to_string();
       break;
     case Kind::kRead:
       out += "read(r" + std::to_string(client) + ")";
+      if (key != 0) out += " key " + std::to_string(key);
       if (!reachable.empty()) out += " via " + reachable.to_string();
       break;
     case Kind::kPropose:
@@ -111,6 +113,7 @@ std::string ScenarioSpec::to_string() const {
            scenario::to_string(role);
   }
   if (byzantine_proposer) out += ", byzantine proposer";
+  if (key_count > 1) out += ", " + std::to_string(key_count) + " keys";
   out += "\n";
   for (const ScheduleEntry& e : schedule) {
     out += "  " + e.to_string() + "\n";

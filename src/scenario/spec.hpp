@@ -82,6 +82,7 @@ struct ScheduleEntry {
   sim::SimTime at{0};          ///< injection time (virtual)
   Value value{0};              ///< kWrite / kPropose
   std::size_t client{0};       ///< reader index (kRead) / proposer index (kPropose)
+  ObjectId key{0};             ///< kWrite/kRead: the register operated on
   ProcessSet reachable;        ///< kWrite/kRead: servers visible to the client
                                ///< from this operation on (empty = all). The
                                ///< paper's "reads from quorum Q" in one entry.
@@ -105,7 +106,8 @@ struct ScenarioSpec {
   Value fake_value{-7};        ///< the value Byzantine roles push/forge
   bool byzantine_proposer{false};  ///< consensus: proposer 0 is Byzantine
 
-  std::size_t reader_count{2};     ///< storage
+  std::size_t reader_count{2};     ///< storage: readers per key
+  std::size_t key_count{1};        ///< storage: independent registers
   std::size_t proposer_count{2};   ///< consensus
   std::size_t learner_count{2};    ///< consensus
 

@@ -7,14 +7,17 @@
 #pragma once
 
 #include <memory>
-#include <string>
+#include <string_view>
 
 namespace rqs::sim {
 
 struct Message {
   virtual ~Message() = default;
   /// Short human-readable tag for traces ("WR", "RD_ACK", "PREPARE", ...).
-  [[nodiscard]] virtual std::string tag() const = 0;
+  /// Must view a string with static storage duration (a literal): the
+  /// network keys its per-tag counters on the view itself, so the send hot
+  /// path allocates nothing.
+  [[nodiscard]] virtual std::string_view tag() const = 0;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

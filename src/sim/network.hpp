@@ -10,7 +10,7 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/process_set.hpp"
@@ -65,7 +65,9 @@ class Network {
   /// Message counts per tag() — the message-complexity accounting used by
   /// the benches (the paper's Section 5 discusses the protocols' message
   /// complexity; best-case counts per operation are reported there).
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& sent_by_tag() const noexcept {
+  /// Keyed directly on the tag views (static literals per Message::tag's
+  /// contract), so counting never copies a string.
+  [[nodiscard]] const std::map<std::string_view, std::uint64_t>& sent_by_tag() const noexcept {
     return sent_by_tag_;
   }
   /// Resets the per-tag and total counters (e.g. between operations).
@@ -84,7 +86,7 @@ class Network {
   std::function<double()> loss_draw_;
   std::uint64_t sent_{0};
   std::uint64_t dropped_{0};
-  std::map<std::string, std::uint64_t> sent_by_tag_;
+  std::map<std::string_view, std::uint64_t> sent_by_tag_;
 };
 
 }  // namespace rqs::sim

@@ -27,7 +27,7 @@ void AbdWriter::write(Value v, DoneFn done) {
   busy_ = true;
   done_ = std::move(done);
   acked_ = ProcessSet{};
-  ++ts_;
+  ts_ = Timestamp{ts_.seq + 1, ts_.writer};
   auto msg = std::make_shared<AbdWriteMsg>();
   msg->ts = ts_;
   msg->value = v;

@@ -19,21 +19,21 @@ namespace rqs::storage {
 struct AbdWriteMsg final : sim::Message {
   Timestamp ts{0};
   Value value{kBottom};
-  [[nodiscard]] std::string tag() const override { return "ABD_WRITE"; }
+  [[nodiscard]] std::string_view tag() const override { return "ABD_WRITE"; }
 };
 struct AbdWriteAck final : sim::Message {
   Timestamp ts{0};
-  [[nodiscard]] std::string tag() const override { return "ABD_WRITE_ACK"; }
+  [[nodiscard]] std::string_view tag() const override { return "ABD_WRITE_ACK"; }
 };
 struct AbdReadMsg final : sim::Message {
   std::uint64_t read_no{0};
-  [[nodiscard]] std::string tag() const override { return "ABD_READ"; }
+  [[nodiscard]] std::string_view tag() const override { return "ABD_READ"; }
 };
 struct AbdReadAck final : sim::Message {
   std::uint64_t read_no{0};
   Timestamp ts{0};
   Value value{kBottom};
-  [[nodiscard]] std::string tag() const override { return "ABD_READ_ACK"; }
+  [[nodiscard]] std::string_view tag() const override { return "ABD_READ_ACK"; }
 };
 
 /// ABD server: one timestamped register cell.

@@ -1,30 +1,50 @@
 #include "storage/harness.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace rqs::storage {
 
 StorageCluster::StorageCluster(RefinedQuorumSystem rqs,
                                const StorageClusterConfig& cfg)
     : sim_(cfg.delta), rqs_(std::move(rqs)),
-      servers_(ProcessSet::universe(rqs_.universe_size())) {
+      servers_(ProcessSet::universe(rqs_.universe_size())),
+      reader_count_(cfg.reader_count) {
   ByzantineStorageServer::ForgeFn forge = cfg.forge;
   if (!forge) forge = ByzantineStorageServer::forget_everything();
   for (ProcessId id = 0; id < rqs_.universe_size(); ++id) {
     if (cfg.byzantine.contains(id)) {
-      servers_obj_.push_back(
-          std::make_unique<ByzantineStorageServer>(sim_, id, forge));
+      servers_obj_.push_back(std::make_unique<ByzantineStorageServer>(
+          sim_, id, forge, cfg.compact_history));
     } else {
-      servers_obj_.push_back(std::make_unique<RqsStorageServer>(sim_, id));
+      servers_obj_.push_back(
+          std::make_unique<RqsStorageServer>(sim_, id, cfg.compact_history));
     }
   }
-  writer_ = std::make_unique<RqsWriter>(sim_, kWriterId, rqs_, servers_);
-  for (std::size_t i = 0; i < cfg.reader_count; ++i) {
-    readers_.push_back(std::make_unique<RqsReader>(
-        sim_, kFirstReaderId + static_cast<ProcessId>(i), rqs_, servers_));
-    read_done_.push_back(true);
-    read_value_.push_back(kBottom);
-    read_invoked_.push_back(0);
+  // Hard runtime check (not an assert: Release builds must diagnose this
+  // too) — client ids share the ProcessSet id space with servers, and an
+  // id >= kMaxProcesses would shift out of the 64-bit set mask.
+  if (cfg.key_count < 1 ||
+      writer_client_id(static_cast<ObjectId>(cfg.key_count), cfg.reader_count) >
+          ProcessSet::kMaxProcesses) {
+    throw std::invalid_argument(
+        "StorageCluster: key_count * (1 + reader_count) client ids exceed "
+        "the ProcessSet id space (need 40 + key_count * (1 + reader_count) "
+        "<= 64)");
+  }
+  keys_.resize(cfg.key_count);
+  for (ObjectId key = 0; key < cfg.key_count; ++key) {
+    KeyClients& kc = keys_[key];
+    kc.writer = std::make_unique<RqsWriter>(
+        sim_, writer_client_id(key, cfg.reader_count), rqs_, servers_, key);
+    for (std::size_t i = 0; i < cfg.reader_count; ++i) {
+      kc.readers.push_back(std::make_unique<RqsReader>(
+          sim_, reader_client_id(key, i, cfg.reader_count), rqs_, servers_,
+          RqsReader::Mode::kAtomic, key));
+      kc.read_done.push_back(true);
+      kc.read_value.push_back(kBottom);
+      kc.read_invoked.push_back(0);
+    }
   }
 }
 
@@ -36,40 +56,46 @@ StorageCluster::StorageCluster(RefinedQuorumSystem rqs, std::size_t reader_count
                      StorageClusterConfig{reader_count, byzantine,
                                           std::move(forge), delta}) {}
 
-RoundNumber StorageCluster::blocking_write(Value v) {
-  async_write(v);
-  while (!write_done_ && sim_.step()) {
+RoundNumber StorageCluster::blocking_write(ObjectId key, Value v) {
+  async_write(key, v);
+  while (!keys_[key].write_done && sim_.step()) {
   }
-  assert(write_done_ && "write did not terminate (no live quorum?)");
-  return writer_->last_write_rounds();
+  assert(keys_[key].write_done && "write did not terminate (no live quorum?)");
+  return keys_[key].writer->last_write_rounds();
 }
 
-StorageCluster::ReadOutcome StorageCluster::blocking_read(std::size_t i) {
-  async_read(i);
-  while (!read_done_[i] && sim_.step()) {
+StorageCluster::ReadOutcome StorageCluster::blocking_read(ObjectId key,
+                                                          std::size_t i) {
+  async_read(key, i);
+  while (!keys_[key].read_done[i] && sim_.step()) {
   }
-  assert(read_done_[i] && "read did not terminate (no live quorum?)");
-  return ReadOutcome{read_value_[i], readers_[i]->last_read_rounds()};
+  assert(keys_[key].read_done[i] && "read did not terminate (no live quorum?)");
+  return ReadOutcome{keys_[key].read_value[i],
+                     keys_[key].readers[i]->last_read_rounds()};
 }
 
-void StorageCluster::async_write(Value v) {
-  assert(write_done_);
-  write_done_ = false;
-  write_invoked_ = sim_.now();
-  writer_->write(v, [this, v] {
-    write_done_ = true;
-    checker_.add_write(write_invoked_, sim_.now(), v);
+void StorageCluster::async_write(ObjectId key, Value v) {
+  KeyClients& kc = keys_.at(key);
+  assert(kc.write_done);
+  kc.write_done = false;
+  kc.write_invoked = sim_.now();
+  kc.writer->write(v, [this, key, v] {
+    KeyClients& done_kc = keys_[key];
+    done_kc.write_done = true;
+    done_kc.checker.add_write(done_kc.write_invoked, sim_.now(), v);
   });
 }
 
-void StorageCluster::async_read(std::size_t i) {
-  assert(read_done_[i]);
-  read_done_[i] = false;
-  read_invoked_[i] = sim_.now();
-  readers_[i]->read([this, i](Value v) {
-    read_done_[i] = true;
-    read_value_[i] = v;
-    checker_.add_read(read_invoked_[i], sim_.now(), v);
+void StorageCluster::async_read(ObjectId key, std::size_t i) {
+  KeyClients& kc = keys_.at(key);
+  assert(kc.read_done.at(i));
+  kc.read_done[i] = false;
+  kc.read_invoked[i] = sim_.now();
+  kc.readers[i]->read([this, key, i](Value v) {
+    KeyClients& done_kc = keys_[key];
+    done_kc.read_done[i] = true;
+    done_kc.read_value[i] = v;
+    done_kc.checker.add_read(done_kc.read_invoked[i], sim_.now(), v);
   });
 }
 

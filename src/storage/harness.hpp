@@ -1,10 +1,11 @@
 // Scenario harness wiring a storage cluster inside the simulator.
 //
-// Builds servers 0..n-1 (benign or Byzantine), one writer (id 100) and any
-// number of readers (ids 101, 102, ...) over a given refined quorum
-// system; offers "blocking" operations that drive the simulation until the
-// operation's response step, and records every completed operation into an
-// AtomicityChecker. Used by tests, benches and examples.
+// Builds servers 0..n-1 (benign or Byzantine) over a given refined quorum
+// system, plus per-key client sessions of the keyed register space: one
+// writer and `reader_count` readers per key. Offers "blocking" operations
+// that drive the simulation until the operation's response step, and
+// records every completed operation into a per-key AtomicityChecker. Used
+// by tests, benches and examples.
 #pragma once
 
 #include <memory>
@@ -22,17 +23,39 @@ namespace rqs::storage {
 
 // Client process ids. They share the ProcessSet id space with servers
 // (ids 0..n-1), so they must stay below ProcessSet::kMaxProcesses = 64;
-// network scripting addresses clients through ProcessSet rules.
+// network scripting addresses clients through ProcessSet rules. Clients
+// are laid out in per-key blocks of (1 + reader_count) ids starting at
+// kWriterId, so a single-key cluster keeps the historical layout
+// (writer 40, readers 41, 42, ...).
 inline constexpr ProcessId kWriterId = 40;
 inline constexpr ProcessId kFirstReaderId = 41;
+
+[[nodiscard]] constexpr ProcessId writer_client_id(
+    ObjectId key, std::size_t readers_per_key) noexcept {
+  return kWriterId + static_cast<ProcessId>(key) *
+                         static_cast<ProcessId>(1 + readers_per_key);
+}
+[[nodiscard]] constexpr ProcessId reader_client_id(
+    ObjectId key, std::size_t reader, std::size_t readers_per_key) noexcept {
+  return writer_client_id(key, readers_per_key) + 1 +
+         static_cast<ProcessId>(reader);
+}
 
 /// Named deployment parameters for a StorageCluster; the scenario layer
 /// (src/scenario/) builds deployments from this struct directly.
 struct StorageClusterConfig {
-  std::size_t reader_count{1};
+  std::size_t reader_count{1};  ///< readers per key
   ProcessSet byzantine;  ///< servers built as ByzantineStorageServer
   ByzantineStorageServer::ForgeFn forge;  ///< null = forget_everything()
   sim::SimTime delta{sim::kDefaultDelta};
+  std::size_t key_count{1};  ///< independent registers (keys 0..key_count-1)
+  /// Servers drop history rows below the latest known-complete timestamp
+  /// (bounded rd_ack snapshots). false = the full-history reference mode
+  /// for the differential suite and benches: rows are never dropped (the
+  /// paper's Section 5 keep-everything behaviour), while completion
+  /// tracking/materialization stay on so both modes see identical
+  /// messages.
+  bool compact_history{true};
 };
 
 class StorageCluster {
@@ -52,51 +75,77 @@ class StorageCluster {
   [[nodiscard]] sim::Network& network() noexcept { return sim_.network(); }
   [[nodiscard]] const RefinedQuorumSystem& rqs() const noexcept { return rqs_; }
   [[nodiscard]] ProcessSet server_set() const noexcept { return servers_; }
+  [[nodiscard]] std::size_t key_count() const noexcept { return keys_.size(); }
+  [[nodiscard]] std::size_t reader_count() const noexcept { return reader_count_; }
 
-  [[nodiscard]] RqsWriter& writer() noexcept { return *writer_; }
-  [[nodiscard]] RqsReader& reader(std::size_t i) { return *readers_.at(i); }
+  [[nodiscard]] RqsWriter& writer(ObjectId key = 0) { return *keys_.at(key).writer; }
+  [[nodiscard]] RqsReader& reader(std::size_t i) { return reader(0, i); }
+  [[nodiscard]] RqsReader& reader(ObjectId key, std::size_t i) {
+    return *keys_.at(key).readers.at(i);
+  }
   [[nodiscard]] RqsStorageServer& server(ProcessId id) { return *servers_obj_.at(id); }
 
   /// Crashes a server (or client) now.
   void crash(ProcessId id) { sim_.crash(id); }
 
-  /// Runs write(v) to completion; returns the rounds it took.
-  RoundNumber blocking_write(Value v);
+  /// Runs write(v) on a key to completion; returns the rounds it took.
+  RoundNumber blocking_write(Value v) { return blocking_write(0, v); }
+  RoundNumber blocking_write(ObjectId key, Value v);
 
-  /// Runs read() by reader i to completion; returns (value, rounds).
+  /// Runs read() by reader i of a key to completion; returns (value, rounds).
   struct ReadOutcome {
     Value value{kBottom};
     RoundNumber rounds{0};
   };
-  ReadOutcome blocking_read(std::size_t i);
+  ReadOutcome blocking_read(std::size_t i) { return blocking_read(0, i); }
+  ReadOutcome blocking_read(ObjectId key, std::size_t i);
 
   /// Starts a write without driving the simulation (for overlapping ops).
-  void async_write(Value v);
+  void async_write(Value v) { async_write(0, v); }
+  void async_write(ObjectId key, Value v);
   /// Starts a read without driving the simulation.
-  void async_read(std::size_t i);
-  /// True iff the async read started last on reader i has completed;
-  /// value available via last_read_value(i).
-  [[nodiscard]] bool read_done(std::size_t i) const { return read_done_.at(i); }
-  [[nodiscard]] Value last_read_value(std::size_t i) const { return read_value_.at(i); }
-  [[nodiscard]] bool write_done() const { return write_done_; }
+  void async_read(std::size_t i) { async_read(0, i); }
+  void async_read(ObjectId key, std::size_t i);
+  /// True iff the async read started last on the key's reader i completed;
+  /// value available via last_read_value.
+  [[nodiscard]] bool read_done(std::size_t i) const { return read_done(0, i); }
+  [[nodiscard]] bool read_done(ObjectId key, std::size_t i) const {
+    return keys_.at(key).read_done.at(i);
+  }
+  [[nodiscard]] Value last_read_value(std::size_t i) const {
+    return last_read_value(0, i);
+  }
+  [[nodiscard]] Value last_read_value(ObjectId key, std::size_t i) const {
+    return keys_.at(key).read_value.at(i);
+  }
+  [[nodiscard]] bool write_done() const { return write_done(0); }
+  [[nodiscard]] bool write_done(ObjectId key) const {
+    return keys_.at(key).write_done;
+  }
 
-  /// The checker accumulating all completed operations.
-  [[nodiscard]] AtomicityChecker& checker() noexcept { return checker_; }
+  /// The checker accumulating all completed operations on a key.
+  [[nodiscard]] AtomicityChecker& checker(ObjectId key = 0) {
+    return keys_.at(key).checker;
+  }
 
  private:
+  struct KeyClients {
+    std::unique_ptr<RqsWriter> writer;
+    std::vector<std::unique_ptr<RqsReader>> readers;
+    AtomicityChecker checker;
+    bool write_done{true};
+    sim::SimTime write_invoked{0};
+    std::vector<bool> read_done;
+    std::vector<Value> read_value;
+    std::vector<sim::SimTime> read_invoked;
+  };
+
   sim::Simulation sim_;
   RefinedQuorumSystem rqs_;
   ProcessSet servers_;
+  std::size_t reader_count_;
   std::vector<std::unique_ptr<RqsStorageServer>> servers_obj_;
-  std::unique_ptr<RqsWriter> writer_;
-  std::vector<std::unique_ptr<RqsReader>> readers_;
-
-  AtomicityChecker checker_;
-  bool write_done_{true};
-  sim::SimTime write_invoked_{0};
-  std::vector<bool> read_done_;
-  std::vector<Value> read_value_;
-  std::vector<sim::SimTime> read_invoked_;
+  std::vector<KeyClients> keys_;
 };
 
 }  // namespace rqs::storage

@@ -1,10 +1,11 @@
-// Wire messages of the RQS atomic storage algorithm (Figures 5-7).
+// Wire messages of the RQS atomic storage algorithm (Figures 5-7),
+// generalized to a keyed register space with bounded per-key history.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
-#include <string>
+#include <string_view>
 
 #include "common/types.hpp"
 #include "core/rqs.hpp"
@@ -26,9 +27,11 @@ struct HistorySlot {
   friend bool operator==(const HistorySlot&, const HistorySlot&) = default;
 };
 
-/// A server's full history of the shared variable: rows keyed by timestamp,
+/// A server's history of one shared variable: rows keyed by timestamp,
 /// three slots per row (rounds 1..3). Absent rows/slots are initial.
-/// The paper deliberately keeps the entire history (Section 5).
+/// The paper deliberately keeps the entire history (Section 5); servers
+/// bound it with compact_below() once a row's timestamp is known to be
+/// below the latest *complete* write (see RqsStorageServer).
 class ServerHistory {
  public:
   /// Read access; returns the initial slot when the entry was never set.
@@ -53,46 +56,82 @@ class ServerHistory {
     }
   }
 
+  /// Drops every row with timestamp strictly below `floor`; the floor row
+  /// itself (the latest complete pair) and everything above it — the rows
+  /// a reader can still need — survive. Returns how many rows were erased.
+  std::size_t compact_below(Timestamp floor) {
+    std::size_t erased = 0;
+    for (auto it = rows_.begin(); it != rows_.end() && it->first < floor;) {
+      it = rows_.erase(it);
+      ++erased;
+    }
+    return erased;
+  }
+
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Total populated slots: the payload size of a rd_ack snapshot.
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [ts, row] : rows_) n += row.size();
+    return n;
+  }
 
  private:
   std::map<Timestamp, std::map<RoundNumber, HistorySlot>> rows_;
 };
 
-/// wr<ts, v, QC'2, rnd> — sent by the writer in all rounds and by readers
-/// during writebacks.
+/// wr<key, ts, v, QC'2, rnd> — sent by the writer in all rounds and by
+/// readers during writebacks. `op` is a per-sender operation nonce echoed
+/// in wr_ack, so a late ack from an earlier operation's round can never
+/// satisfy a later operation's quorum (two reads writing back the same
+/// pair share (ts, rnd)). `completed` is the highest pair the sender knows
+/// to be complete on this key; servers use it to bound their history (see
+/// RqsStorageServer).
 struct WrMsg final : sim::Message {
+  ObjectId key{0};
   Timestamp ts{0};
   Value value{kBottom};
   QuorumIdSet qc2_set;  // the paper's QC'2 / Set parameter
   RoundNumber rnd{1};
+  std::uint64_t op{0};
+  TsValue completed{kInitialPair};
 
-  [[nodiscard]] std::string tag() const override { return "WR"; }
+  [[nodiscard]] std::string_view tag() const override { return "WR"; }
 };
 
-/// wr_ack<ts, rnd>.
+/// wr_ack<key, ts, rnd, op>.
 struct WrAck final : sim::Message {
+  ObjectId key{0};
   Timestamp ts{0};
   RoundNumber rnd{1};
+  std::uint64_t op{0};
 
-  [[nodiscard]] std::string tag() const override { return "WR_ACK"; }
+  [[nodiscard]] std::string_view tag() const override { return "WR_ACK"; }
 };
 
-/// rd<read_no, rnd>.
+/// rd<key, read_no, rnd>. Reads stay mutation-free as in the paper:
+/// completion knowledge travels only on the write path (writer rounds and
+/// read writebacks), so a rd never changes what a server would reply.
 struct RdMsg final : sim::Message {
+  ObjectId key{0};
   std::uint64_t read_no{0};
   RoundNumber rnd{1};
 
-  [[nodiscard]] std::string tag() const override { return "RD"; }
+  [[nodiscard]] std::string_view tag() const override { return "RD"; }
 };
 
-/// rd_ack<read_no, rnd, history> — carries the full history snapshot.
+/// rd_ack<key, read_no, rnd, history> — carries the server's history
+/// snapshot for the key: the full history in the paper's literal protocol,
+/// a bounded suffix once the server compacts (rows at or above the latest
+/// complete timestamp it knows, plus any in-flight stragglers).
 struct RdAck final : sim::Message {
+  ObjectId key{0};
   std::uint64_t read_no{0};
   RoundNumber rnd{1};
   ServerHistory history;
 
-  [[nodiscard]] std::string tag() const override { return "RD_ACK"; }
+  [[nodiscard]] std::string_view tag() const override { return "RD_ACK"; }
 };
 
 }  // namespace rqs::storage

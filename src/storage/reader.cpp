@@ -7,8 +7,9 @@ namespace rqs::storage {
 
 RqsReader::RqsReader(sim::Simulation& sim, ProcessId id,
                      const RefinedQuorumSystem& rqs, ProcessSet servers,
-                     Mode mode)
-    : sim::Process(sim, id), rqs_(rqs), servers_(servers), mode_(mode) {}
+                     Mode mode, ObjectId key)
+    : sim::Process(sim, id), rqs_(rqs), servers_(servers), mode_(mode),
+      key_(key) {}
 
 void RqsReader::read(DoneFn done) {
   assert(!busy() && "one outstanding operation per client");
@@ -192,6 +193,7 @@ void RqsReader::start_collect_round() {
     timer_expired_ = true;
   }
   auto msg = std::make_shared<RdMsg>();  // line 25
+  msg->key = key_;
   msg->read_no = read_no_;
   msg->rnd = read_rnd_;
   send_all(servers_, std::move(msg));
@@ -200,14 +202,20 @@ void RqsReader::start_collect_round() {
 void RqsReader::on_message(ProcessId from, const sim::Message& m) {
   if (!servers_.contains(from)) return;
   if (const auto* ack = sim::msg_cast<RdAck>(m)) {
-    if (ack->read_no != read_no_ || phase_ == Phase::kIdle) return;
+    if (ack->key != key_ || ack->read_no != read_no_ || phase_ == Phase::kIdle) {
+      return;
+    }
     // Lines 50-51: adopt the snapshot (any round of this read).
     history_[from] = ack->history;
     responded_servers_.insert(from);
-    // Lines 52-53: extend Responded with fully-acked quorums.
-    for (QuorumId qid = 0; qid < rqs_.quorum_count(); ++qid) {
-      if (rqs_.quorum_set(qid).subset_of(responded_servers_)) {
-        responded_.insert(qid);
+    // Lines 52-53: extend Responded with fully-acked quorums. Only quorums
+    // containing `from` can newly become complete.
+    if (from < rqs_.universe_size()) {
+      for (const QuorumId qid : rqs_.quorums_containing(from)) {
+        if (!responded_.contains(qid) &&
+            rqs_.quorum_set(qid).subset_of(responded_servers_)) {
+          responded_.insert(qid);
+        }
       }
     }
     if (phase_ == Phase::kCollect && ack->rnd == read_rnd_) {
@@ -221,6 +229,11 @@ void RqsReader::on_message(ProcessId from, const sim::Message& m) {
         phase_ != Phase::kWriteback2) {
       return;
     }
+    // The nonce pins the ack to *this* writeback broadcast: a late ack
+    // from a previous read's writeback of the same (ts, rnd) must not
+    // count toward this read's quorum (the server it came from may never
+    // have stored this read's writeback).
+    if (ack->key != key_ || ack->op != wb_op_) return;
     if (ack->ts != csel_.ts || ack->rnd != wb_round_) return;
     wb_acks_.insert(from);
     maybe_finish_writeback();
@@ -331,13 +344,17 @@ void RqsReader::start_writeback(RoundNumber wb_round, const QuorumIdSet& set,
                                 Phase next_phase) {
   phase_ = next_phase;
   wb_round_ = wb_round;
+  wb_op_ = ++op_seq_;
   wb_acks_ = ProcessSet{};
   ++total_rounds_;
   auto msg = std::make_shared<WrMsg>();  // line 60
+  msg->key = key_;
   msg->ts = csel_.ts;
   msg->value = csel_.val;
   msg->qc2_set = set;
   msg->rnd = wb_round;
+  msg->op = wb_op_;
+  msg->completed = completed_;
   send_all(servers_, std::move(msg));
 }
 
@@ -381,6 +398,11 @@ void RqsReader::maybe_finish_writeback() {
 void RqsReader::finish(Value v) {
   phase_ = Phase::kIdle;
   last_rounds_ = total_rounds_;
+  // An atomic read's csel is complete once the read returns (the
+  // writeback — or the BCD fast-path proof — made it so); remember it for
+  // the compaction piggyback. A regular read's csel may be a concurrent,
+  // incomplete write, so kRegular never advances the floor.
+  if (mode_ == Mode::kAtomic && csel_.ts > completed_.ts) completed_ = csel_;
   if (!timer_expired_) cancel_timer(timer_);
   timer_expired_ = true;
   DoneFn done = std::move(done_);

@@ -11,8 +11,14 @@
 // after one writeback round (class 2 available; the writeback carries the
 // ids of class 2 quorums that responded — the paper's key new trick), or
 // after two writeback rounds otherwise.
+//
+// A reader is a per-key session of the keyed register space. When an
+// atomic read returns csel, csel is complete; the reader piggybacks the
+// highest such pair on its subsequent rd and writeback messages so
+// servers can bound their histories (see RqsStorageServer).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -37,7 +43,7 @@ class RqsReader final : public sim::Process {
   enum class Mode { kAtomic, kRegular };
 
   RqsReader(sim::Simulation& sim, ProcessId id, const RefinedQuorumSystem& rqs,
-            ProcessSet servers, Mode mode = Mode::kAtomic);
+            ProcessSet servers, Mode mode = Mode::kAtomic, ObjectId key = 0);
 
   /// Starts a read(); `done` receives the returned value.
   void read(DoneFn done);
@@ -47,6 +53,10 @@ class RqsReader final : public sim::Process {
   [[nodiscard]] RoundNumber last_read_rounds() const noexcept { return last_rounds_; }
   /// The pair selected (line 35) by the last completed read.
   [[nodiscard]] TsValue last_selected() const noexcept { return csel_; }
+  [[nodiscard]] ObjectId key() const noexcept { return key_; }
+  /// The highest pair this reader knows to be complete (atomic mode only:
+  /// a regular read's csel may be a concurrent, incomplete write).
+  [[nodiscard]] TsValue known_completed() const noexcept { return completed_; }
 
   void on_message(ProcessId from, const sim::Message& m) override;
   void on_timer(sim::TimerId timer) override;
@@ -95,6 +105,7 @@ class RqsReader final : public sim::Process {
   const RefinedQuorumSystem& rqs_;
   ProcessSet servers_;
   Mode mode_;
+  ObjectId key_;
 
   DoneFn done_;
   Phase phase_{Phase::kIdle};
@@ -110,9 +121,12 @@ class RqsReader final : public sim::Process {
   bool timer_expired_{true};
   sim::TimerId timer_{0};
   TsValue csel_{kInitialPair};
+  TsValue completed_{kInitialPair};
 
   // Writeback bookkeeping.
   RoundNumber wb_round_{0};
+  std::uint64_t wb_op_{0};   // nonce of the current writeback broadcast
+  std::uint64_t op_seq_{0};
   ProcessSet wb_acks_;
   QuorumIdSet wb_target_;  // X = BCD(csel, 2, 1) for the line 46 check
 

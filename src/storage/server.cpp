@@ -2,13 +2,31 @@
 
 namespace rqs::storage {
 
+void RqsStorageServer::note_completed(KeyState& ks, const TsValue& completed) {
+  if (completed == kInitialPair || completed.ts <= ks.floor) return;
+  // Materialize the complete pair before compacting: a server may learn
+  // the floor from a client that knows the pair is complete while the
+  // server itself missed the write (partition, drop). The pair is exactly
+  // what a round-2 writeback would have delivered, so storing it in slots
+  // 1-2 is legal protocol content — and without it, compaction could
+  // delete the server's only evidence of a complete write.
+  for (RoundNumber rnd = 1; rnd <= 2; ++rnd) {
+    HistorySlot& s = ks.history.slot(completed.ts, rnd);
+    if (s.is_initial()) s.pair = completed;
+  }
+  ks.floor = completed.ts;
+  if (compact_) ks.history.compact_below(ks.floor);
+}
+
 void RqsStorageServer::on_message(ProcessId from, const sim::Message& m) {
   if (const auto* wr = sim::msg_cast<WrMsg>(m)) {
+    KeyState& ks = keys_[wr->key];
+    note_completed(ks, wr->completed);
     // Lines 3-6 of Figure 6: fill slots 1..rnd, guarding against
     // overwriting a different pair at the same timestamp; the QC'2 set is
     // accumulated only in the slot of the message's round.
     for (RoundNumber rnd = 1; rnd <= wr->rnd; ++rnd) {
-      HistorySlot& s = history_.slot(wr->ts, rnd);
+      HistorySlot& s = ks.history.slot(wr->ts, rnd);
       const TsValue incoming{wr->ts, wr->value};
       if (s.is_initial() || s.pair == incoming) {
         s.pair = incoming;
@@ -18,17 +36,23 @@ void RqsStorageServer::on_message(ProcessId from, const sim::Message& m) {
       }
     }
     auto ack = std::make_shared<WrAck>();
+    ack->key = wr->key;
     ack->ts = wr->ts;
     ack->rnd = wr->rnd;
+    ack->op = wr->op;
     send(from, std::move(ack));
     return;
   }
   if (const auto* rd = sim::msg_cast<RdMsg>(m)) {
-    // Lines 8-9 of Figure 6: reply with the entire history.
+    // Lines 8-9 of Figure 6: reply with the (bounded) history.
     auto ack = std::make_shared<RdAck>();
+    ack->key = rd->key;
     ack->read_no = rd->read_no;
     ack->rnd = rd->rnd;
-    ack->history = history_for_reply(from);
+    ack->history = history_for_reply(rd->key, from);
+    ++reply_stats_.replies;
+    reply_stats_.rows += ack->history.row_count();
+    reply_stats_.slots += ack->history.slot_count();
     send(from, std::move(ack));
     return;
   }

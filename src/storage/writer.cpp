@@ -5,13 +5,15 @@
 namespace rqs::storage {
 
 RqsWriter::RqsWriter(sim::Simulation& sim, ProcessId id,
-                     const RefinedQuorumSystem& rqs, ProcessSet servers)
-    : sim::Process(sim, id), rqs_(rqs), servers_(servers) {}
+                     const RefinedQuorumSystem& rqs, ProcessSet servers,
+                     ObjectId key, std::uint32_t rank)
+    : sim::Process(sim, id), rqs_(rqs), servers_(servers), key_(key),
+      rank_(rank), ts_(0, rank) {}
 
 void RqsWriter::write(Value v, DoneFn done) {
   assert(!busy() && "one outstanding operation per client");
   assert(!is_bottom(v));
-  ++ts_;  // line 1: inc(ts)
+  ts_ = Timestamp{ts_.seq + 1, rank_};  // line 1: inc(ts)
   value_ = v;
   done_ = std::move(done);
   qc2_prime_.clear();
@@ -21,11 +23,15 @@ void RqsWriter::write(Value v, DoneFn done) {
 
 void RqsWriter::start_round() {
   acked_ = ProcessSet{};
+  op_ = ++op_seq_;
   auto msg = std::make_shared<WrMsg>();
+  msg->key = key_;
   msg->ts = ts_;
   msg->value = value_;
   msg->qc2_set = (round_ == 2) ? qc2_prime_ : QuorumIdSet{};  // lines 0, 8, 10
   msg->rnd = round_;
+  msg->op = op_;
+  msg->completed = completed_;
   send_all(servers_, std::move(msg));
   if (round_ < 3) {  // line 11: trigger(timeout) only in rounds 1 and 2
     timer_expired_ = false;
@@ -38,6 +44,7 @@ void RqsWriter::start_round() {
 void RqsWriter::on_message(ProcessId from, const sim::Message& m) {
   const auto* ack = sim::msg_cast<WrAck>(m);
   if (ack == nullptr || round_ == 0) return;
+  if (ack->key != key_ || ack->op != op_) return;
   if (ack->ts != ts_ || ack->rnd != round_) return;
   if (!servers_.contains(from)) return;
   acked_.insert(from);
@@ -103,6 +110,7 @@ void RqsWriter::maybe_finish_round() {
 void RqsWriter::complete() {
   last_rounds_ = round_;
   round_ = 0;
+  completed_ = TsValue{ts_, value_};
   if (!timer_expired_) cancel_timer(timer_);
   DoneFn done = std::move(done_);
   done_ = nullptr;

@@ -7,8 +7,17 @@
 // are remembered in QC'2 and shipped inside the round 2 message; if some
 // quorum of QC'2 acks round 2 the write completes in two rounds; otherwise
 // a third round against any quorum completes it.
+//
+// A writer is a per-key session: it writes one ObjectId of the keyed
+// register space. Timestamps are (seq, writer-rank) pairs ordered
+// lexicographically, so two writers that (illegally, per the paper's
+// single-writer assumption) share a key still never collide on a
+// timestamp; give each a distinct rank. Every wr message piggybacks the
+// pair of this writer's last *complete* write so servers can compact
+// their history below it.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "core/rqs.hpp"
@@ -22,9 +31,10 @@ class RqsWriter final : public sim::Process {
   using DoneFn = std::function<void()>;
 
   /// `servers` are the processes forming the quorum system; RQS element i
-  /// must be the process with id i.
+  /// must be the process with id i. `key` selects the register; `rank` is
+  /// the writer component of every timestamp this writer emits.
   RqsWriter(sim::Simulation& sim, ProcessId id, const RefinedQuorumSystem& rqs,
-            ProcessSet servers);
+            ProcessSet servers, ObjectId key = 0, std::uint32_t rank = 0);
 
   /// Starts write(v); `done` fires at the response step. At most one
   /// operation may be outstanding (the paper's well-formedness).
@@ -35,6 +45,9 @@ class RqsWriter final : public sim::Process {
   [[nodiscard]] RoundNumber last_write_rounds() const noexcept { return last_rounds_; }
   /// The writer's current local timestamp.
   [[nodiscard]] Timestamp timestamp() const noexcept { return ts_; }
+  [[nodiscard]] ObjectId key() const noexcept { return key_; }
+  /// The pair of the last write that completed (initial if none yet).
+  [[nodiscard]] TsValue last_completed() const noexcept { return completed_; }
 
   void on_message(ProcessId from, const sim::Message& m) override;
   void on_timer(sim::TimerId timer) override;
@@ -46,12 +59,17 @@ class RqsWriter final : public sim::Process {
 
   const RefinedQuorumSystem& rqs_;
   ProcessSet servers_;
+  ObjectId key_;
+  std::uint32_t rank_;
 
-  Timestamp ts_{0};
+  Timestamp ts_;
   Value value_{kBottom};
   DoneFn done_;
+  TsValue completed_{kInitialPair};
 
   RoundNumber round_{0};  // 0 = idle
+  std::uint64_t op_{0};   // nonce of the current round's wr broadcast
+  std::uint64_t op_seq_{0};
   ProcessSet acked_;      // servers that acked the current round
   QuorumIdSet qc2_prime_; // the paper's QC'2
   bool timer_expired_{true};

@@ -12,7 +12,7 @@ namespace {
 
 struct PingMsg final : Message {
   int payload{0};
-  [[nodiscard]] std::string tag() const override { return "PING"; }
+  [[nodiscard]] std::string_view tag() const override { return "PING"; }
 };
 
 /// Records everything it receives; optionally echoes back.

@@ -1,0 +1,161 @@
+// Bounded-history storage: servers compact history rows below the latest
+// known-complete timestamp (learned from the completion pair piggybacked
+// on wr messages), so rd_ack snapshots stay O(in-flight writes) instead of
+// O(all writes). The full-history mode (compact_history = false) retains
+// the paper's literal Section 5 behaviour as the reference.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "storage/harness.hpp"
+#include "storage/messages.hpp"
+
+namespace rqs::storage {
+namespace {
+
+TEST(CompactionTest, CompactBelowDropsOnlyOlderRows) {
+  ServerHistory h;
+  h.slot(1, 1).pair = TsValue{1, 10};
+  h.slot(2, 1).pair = TsValue{2, 20};
+  h.slot(3, 1).pair = TsValue{3, 30};
+  h.slot(3, 2).pair = TsValue{3, 30};
+  EXPECT_EQ(h.compact_below(Timestamp{3}), 2u);
+  EXPECT_EQ(h.row_count(), 1u);
+  EXPECT_TRUE(h.at(1, 1).is_initial());
+  EXPECT_TRUE(h.at(2, 1).is_initial());
+  EXPECT_EQ(h.at(3, 1).pair, (TsValue{3, 30}));
+  EXPECT_EQ(h.slot_count(), 2u);
+  // Idempotent; a lower floor never un-drops anything.
+  EXPECT_EQ(h.compact_below(Timestamp{3}), 0u);
+  EXPECT_EQ(h.compact_below(Timestamp{1}), 0u);
+}
+
+class CompactionServerTest : public ::testing::Test {
+ protected:
+  explicit CompactionServerTest(bool compact = true) : server_(sim_, 0, compact) {}
+
+  void deliver_wr(Timestamp ts, Value v, RoundNumber rnd,
+                  TsValue completed = kInitialPair) {
+    WrMsg m;
+    m.ts = ts;
+    m.value = v;
+    m.rnd = rnd;
+    m.completed = completed;
+    server_.on_message(/*from=*/40, m);
+  }
+
+  sim::Simulation sim_;
+  RqsStorageServer server_;
+};
+
+TEST_F(CompactionServerTest, FloorAdvancesAndRowsBelowAreDropped) {
+  deliver_wr(1, 10, 1);
+  deliver_wr(2, 20, 1, /*completed=*/TsValue{1, 10});
+  EXPECT_EQ(server_.floor(), Timestamp{1});
+  EXPECT_EQ(server_.history().row_count(), 2u);  // rows 1 (floor) and 2
+  deliver_wr(3, 30, 1, /*completed=*/TsValue{2, 20});
+  EXPECT_EQ(server_.floor(), Timestamp{2});
+  EXPECT_EQ(server_.history().row_count(), 2u);  // rows 2 (floor) and 3
+  EXPECT_TRUE(server_.history().at(1, 1).is_initial());
+  EXPECT_EQ(server_.history().at(2, 1).pair, (TsValue{2, 20}));
+}
+
+TEST_F(CompactionServerTest, CompletedPairIsMaterializedWhenRowIsMissing) {
+  // The server never saw write 1 (partition); a client that knows <1, 10>
+  // is complete writes 2. The pair must be materialized into slots 1-2 —
+  // without it, compaction would delete the server's only evidence of a
+  // complete write and a concurrent reader could miss it.
+  deliver_wr(2, 20, 1, /*completed=*/TsValue{1, 10});
+  EXPECT_EQ(server_.floor(), Timestamp{1});
+  EXPECT_EQ(server_.history().at(1, 1).pair, (TsValue{1, 10}));
+  EXPECT_EQ(server_.history().at(1, 2).pair, (TsValue{1, 10}));
+}
+
+TEST_F(CompactionServerTest, StragglerWriteBelowFloorIsStillStoredAndAcked) {
+  deliver_wr(3, 30, 1, /*completed=*/TsValue{2, 20});
+  const auto sent_before = sim_.network().messages_sent();
+  deliver_wr(1, 10, 2);  // in-flight writeback of an old pair arrives late
+  EXPECT_EQ(sim_.network().messages_sent(), sent_before + 1);  // still acked
+  EXPECT_EQ(server_.history().at(1, 1).pair, (TsValue{1, 10}));
+  // ... and is dropped again once the floor advances past it.
+  deliver_wr(4, 40, 1, /*completed=*/TsValue{3, 30});
+  EXPECT_TRUE(server_.history().at(1, 1).is_initial());
+}
+
+class FullHistoryServerTest : public CompactionServerTest {
+ protected:
+  FullHistoryServerTest() : CompactionServerTest(/*compact=*/false) {}
+};
+
+TEST_F(FullHistoryServerTest, ReferenceModeTracksFloorButKeepsEverything) {
+  deliver_wr(1, 10, 1);
+  deliver_wr(2, 20, 1, /*completed=*/TsValue{1, 10});
+  deliver_wr(3, 30, 1, /*completed=*/TsValue{2, 20});
+  EXPECT_EQ(server_.floor(), Timestamp{2});  // knowledge still tracked
+  EXPECT_EQ(server_.history().row_count(), 3u);  // nothing dropped
+  EXPECT_EQ(server_.history().at(1, 1).pair, (TsValue{1, 10}));
+}
+
+// The tentpole claim at cluster level: after W completed writes, rd_ack
+// snapshot sizes are O(1) with compaction and O(W) without.
+TEST(CompactionTest, SnapshotRowsFlatInCompletedWrites) {
+  for (const std::size_t writes : {8u, 32u, 128u}) {
+    StorageClusterConfig compacted;
+    compacted.compact_history = true;
+    StorageCluster cluster(make_fig1_fast5(), compacted);
+    for (Value v = 1; v <= static_cast<Value>(writes); ++v) {
+      cluster.blocking_write(v);
+    }
+    for (ProcessId id = 0; id < 5; ++id) {
+      cluster.server(id).reset_reply_stats();
+    }
+    const auto outcome = cluster.blocking_read(0);
+    EXPECT_EQ(outcome.value, static_cast<Value>(writes));
+    for (ProcessId id = 0; id < 5; ++id) {
+      const auto& stats = cluster.server(id).reply_stats();
+      ASSERT_GT(stats.replies, 0u);
+      // Rows per snapshot: the floor row plus the last (in-flight at the
+      // servers' floor knowledge) write — independent of `writes`.
+      EXPECT_LE(stats.rows, 2 * stats.replies) << "writes=" << writes;
+      EXPECT_LE(cluster.server(id).history().row_count(), 2u);
+    }
+  }
+}
+
+TEST(CompactionTest, FullHistoryModeGrowsLinearly) {
+  StorageClusterConfig full;
+  full.compact_history = false;
+  StorageCluster cluster(make_fig1_fast5(), full);
+  constexpr std::size_t kWrites = 32;
+  for (Value v = 1; v <= static_cast<Value>(kWrites); ++v) {
+    cluster.blocking_write(v);
+  }
+  for (ProcessId id = 0; id < 5; ++id) {
+    cluster.server(id).reset_reply_stats();
+  }
+  EXPECT_EQ(cluster.blocking_read(0).value, static_cast<Value>(kWrites));
+  for (ProcessId id = 0; id < 5; ++id) {
+    const auto& stats = cluster.server(id).reply_stats();
+    ASSERT_GT(stats.replies, 0u);
+    EXPECT_GE(stats.rows, kWrites * stats.replies);  // O(total writes)
+    EXPECT_EQ(cluster.server(id).history().row_count(), kWrites);
+  }
+}
+
+TEST(CompactionTest, CompactedClusterStaysAtomicAcrossCrashesAndReads) {
+  StorageClusterConfig cfg;
+  cfg.reader_count = 2;
+  cfg.compact_history = true;
+  StorageCluster cluster(make_fig1_fast5(), cfg);
+  for (Value v = 1; v <= 10; ++v) {
+    cluster.blocking_write(v * 10);
+    EXPECT_EQ(cluster.blocking_read(0).value, v * 10);
+  }
+  cluster.crash(3);
+  cluster.crash(4);
+  cluster.blocking_write(999);
+  EXPECT_EQ(cluster.blocking_read(1).value, 999);
+  EXPECT_TRUE(cluster.checker().check().atomic);
+}
+
+}  // namespace
+}  // namespace rqs::storage
