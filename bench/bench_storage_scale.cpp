@@ -152,7 +152,7 @@ BENCHMARK(BM_KeyedSwarmThroughput)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond
 // allocation to string_view keys.
 class EchoProc final : public sim::Process {
  public:
-  struct HopMsg final : sim::Message {
+  struct HopMsg final : sim::TypedMessage<HopMsg> {
     int hops_left{0};
     [[nodiscard]] std::string_view tag() const override { return "HOP"; }
   };
@@ -161,15 +161,16 @@ class EchoProc final : public sim::Process {
       : sim::Process(sim, id), next_(next) {}
 
   void on_message(ProcessId, const sim::Message& m) override {
-    const auto* hop = sim::msg_cast<HopMsg>(m);
-    if (hop == nullptr || hop->hops_left == 0) return;
-    auto fwd = std::make_shared<HopMsg>();
-    fwd->hops_left = hop->hops_left - 1;
+    if (m.type() != HopMsg::kType) return;
+    const auto& hop = static_cast<const HopMsg&>(m);
+    if (hop.hops_left == 0) return;
+    auto fwd = make_msg<HopMsg>();
+    fwd->hops_left = hop.hops_left - 1;
     send(next_, std::move(fwd));
   }
 
   void seed(int hops) {
-    auto msg = std::make_shared<HopMsg>();
+    auto msg = make_msg<HopMsg>();
     msg->hops_left = hops;
     send(next_, std::move(msg));
   }

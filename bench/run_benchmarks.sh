@@ -36,6 +36,7 @@ BENCHES=(
   bench_rqs_enumeration
   bench_rqs_verify
   bench_scenario_swarm
+  bench_sim_hotpath
   bench_storage_baselines
   bench_storage_latency
   bench_storage_scale

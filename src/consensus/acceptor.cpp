@@ -13,56 +13,58 @@ RqsAcceptor::RqsAcceptor(sim::Simulation& sim, ProcessId id,
       suspect_timeout_(5 * sim.delta()) {}
 
 void RqsAcceptor::on_message(ProcessId from, const sim::Message& m) {
-  if (const auto* prep = sim::msg_cast<PrepareMsg>(m)) {
-    // Election, Fig. 14 line 0: the first prepare of the initial view
-    // arms the suspicion timer.
-    if (prep->view == 0) arm_suspect_timer();
-    handle_prepare(from, *prep);
-    return;
-  }
-  if (const auto* up = sim::msg_cast<UpdateMsg>(m)) {
-    handle_update(from, *up);
-    // Decision rules (lines 51-53) apply to acceptors too.
-    if (const auto v = tracker_.feed(from, *up)) on_decided(*v);
-    return;
-  }
-  if (const auto* nv = sim::msg_cast<NewViewMsg>(m)) {
-    handle_new_view(from, *nv);
-    return;
-  }
-  if (const auto* sr = sim::msg_cast<SignReqMsg>(m)) {
-    handle_sign_req(from, *sr);
-    return;
-  }
-  if (const auto* sa = sim::msg_cast<SignAckMsg>(m)) {
-    handle_sign_ack(from, *sa);
-    return;
-  }
-  if (sim::msg_cast<SyncMsg>(m) != nullptr) {
-    arm_suspect_timer();  // Fig. 14 line 0
-    return;
-  }
-  if (const auto* dec = sim::msg_cast<DecisionMsg>(m)) {
-    // Fig. 14 line 8: a quorum of decision messages stops the timer.
-    ProcessSet& senders = decision_senders_[dec->value];
-    if (config_.acceptors.contains(from)) senders.insert(from);
-    for (const Quorum& q : config_.rqs->quorums()) {
-      if (q.set.subset_of(senders)) {
-        suspect_stopped_ = true;
-        if (suspect_armed_) cancel_timer(suspect_timer_);
-        break;
+  switch (m.type()) {
+    case PrepareMsg::kType: {
+      const auto& prep = static_cast<const PrepareMsg&>(m);
+      // Election, Fig. 14 line 0: the first prepare of the initial view
+      // arms the suspicion timer.
+      if (prep.view == 0) arm_suspect_timer();
+      handle_prepare(from, prep);
+      return;
+    }
+    case UpdateMsg::kType: {
+      const auto& up = static_cast<const UpdateMsg&>(m);
+      handle_update(from, up);
+      // Decision rules (lines 51-53) apply to acceptors too.
+      if (const auto v = tracker_.feed(from, up)) on_decided(*v);
+      return;
+    }
+    case NewViewMsg::kType:
+      handle_new_view(from, static_cast<const NewViewMsg&>(m));
+      return;
+    case SignReqMsg::kType:
+      handle_sign_req(from, static_cast<const SignReqMsg&>(m));
+      return;
+    case SignAckMsg::kType:
+      handle_sign_ack(from, static_cast<const SignAckMsg&>(m));
+      return;
+    case SyncMsg::kType:
+      arm_suspect_timer();  // Fig. 14 line 0
+      return;
+    case DecisionMsg::kType: {
+      const auto& dec = static_cast<const DecisionMsg&>(m);
+      // Fig. 14 line 8: a quorum of decision messages stops the timer.
+      ProcessSet& senders = decision_senders_[dec.value];
+      if (config_.acceptors.contains(from)) senders.insert(from);
+      for (const Quorum& q : config_.rqs->quorums()) {
+        if (q.set.subset_of(senders)) {
+          suspect_stopped_ = true;
+          if (suspect_armed_) cancel_timer(suspect_timer_);
+          break;
+        }
       }
+      return;
     }
-    return;
-  }
-  if (sim::msg_cast<DecisionPullMsg>(m) != nullptr) {
-    // Fig. 15 line 40.
-    if (tracker_.decided()) {
-      auto reply = std::make_shared<DecisionMsg>();
-      reply->value = tracker_.decision();
-      send_all(config_.acceptors | ProcessSet::single(from), std::move(reply));
-    }
-    return;
+    case DecisionPullMsg::kType:
+      // Fig. 15 line 40.
+      if (tracker_.decided()) {
+        auto reply = make_msg<DecisionMsg>();
+        reply->value = tracker_.decision();
+        send_all(config_.acceptors | ProcessSet::single(from), std::move(reply));
+      }
+      return;
+    default:
+      return;
   }
 }
 
@@ -136,7 +138,7 @@ void RqsAcceptor::handle_update(ProcessId from, const UpdateMsg& m) {
 void RqsAcceptor::send_update(RoundNumber step, Value v, ViewNumber view,
                               QuorumId quorum) {
   for (const ProcessId target : config_.acceptors_and_learners()) {
-    auto msg = std::make_shared<UpdateMsg>();
+    auto msg = make_msg<UpdateMsg>();
     msg->step = step;
     msg->value = update_value_for(v, target, step);
     msg->view = view;
@@ -169,7 +171,7 @@ void RqsAcceptor::handle_new_view(ProcessId from, const NewViewMsg& m) {
       if (qit != updateq_.end() && !qit->second.empty()) {
         targets = config_.rqs->quorum_set(*qit->second.begin());
       }
-      auto req = std::make_shared<SignReqMsg>();
+      auto req = make_msg<SignReqMsg>();
       req->value = update_[step];
       req->view = w;
       req->step = step;
@@ -184,7 +186,7 @@ void RqsAcceptor::handle_sign_req(ProcessId from, const SignReqMsg& m) {
   // Line 29: only sign update messages this acceptor really sent.
   const std::string payload = SignedUpdate::payload(m.value, m.view, m.step);
   if (old_.find(payload) == old_.end()) return;
-  auto ack = std::make_shared<SignAckMsg>();
+  auto ack = make_msg<SignAckMsg>();
   ack->update.value = m.value;
   ack->update.view = m.view;
   ack->update.step = m.step;
@@ -237,7 +239,7 @@ void RqsAcceptor::try_complete_pending_ack() {
   data.updateq = updateq_;
   data = ack_to_send(data);
 
-  auto ack = std::make_shared<NewViewAckMsg>();
+  auto ack = make_msg<NewViewAckMsg>();
   ack->data = data;
   ack->signer = id();
   ack->signature = signer_.sign(data.payload());
@@ -295,7 +297,7 @@ bool RqsAcceptor::view_proof_valid(const std::vector<SignedViewChange>& proof,
 
 void RqsAcceptor::on_decided(Value v) {
   // Election, Fig. 14 line 7: help others stop their timers.
-  auto msg = std::make_shared<DecisionMsg>();
+  auto msg = make_msg<DecisionMsg>();
   msg->value = v;
   send_all(config_.acceptors, std::move(msg));
 }
@@ -316,7 +318,7 @@ void RqsAcceptor::on_timer(sim::TimerId timer) {
   suspect_timeout_ *= 2;
   ++next_view_;
   const ProcessId next_leader = config_.leader_of(next_view_);
-  auto msg = std::make_shared<ViewChangeMsg>();
+  auto msg = make_msg<ViewChangeMsg>();
   msg->change.next_view = next_view_;
   msg->change.signer = id();
   msg->change.signature = signer_.sign(SignedViewChange::payload(next_view_));

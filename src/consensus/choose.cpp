@@ -37,22 +37,22 @@ Universe universe_of(const VProof& vproof) {
 
 bool cand2(Value v, ViewNumber w, const VProof& vproof, ProcessSet q,
            const RefinedQuorumSystem& rqs) {
+  // exists B in the adversary with every member of (Q1 n Q) \ B reporting
+  // prep = v with w in Prepview. The existential collapses to one witness:
+  // with miss = the members of Q1 n Q failing the report, any B works iff
+  // B contains miss, and B downward closed makes miss itself the smallest
+  // such element — so cand2 iff miss is in the adversary.
   for (const QuorumId q1id : rqs.class1_ids()) {
     const ProcessSet q1 = rqs.quorum_set(q1id);
-    bool found = false;
-    rqs.adversary().for_each_element([&](ProcessSet b) {
-      const ProcessSet members = (q1 & q) - b;
-      for (const ProcessId a : members) {
-        const NewViewAckData* ack = ack_of(vproof, a);
-        if (ack == nullptr || ack->prep != v ||
-            ack->prepview.find(w) == ack->prepview.end()) {
-          return true;  // keep searching over B
-        }
+    ProcessSet miss;
+    for (const ProcessId a : q1 & q) {
+      const NewViewAckData* ack = ack_of(vproof, a);
+      if (ack == nullptr || ack->prep != v ||
+          ack->prepview.find(w) == ack->prepview.end()) {
+        miss.insert(a);
       }
-      found = true;
-      return false;  // witness found
-    });
-    if (found) return true;
+    }
+    if (rqs.adversary().contains(miss)) return true;
   }
   return false;
 }
@@ -75,18 +75,44 @@ bool c3(Value v, ViewNumber w, char variant, QuorumId q2id, ProcessSet b,
   return true;
 }
 
+/// The acceptors of Q2 n Q that FAIL C3's per-acceptor consequent for
+/// (v, w, Q2): update[1] = v, w in Updateview[1], Q2 in Updateq[1, w].
+ProcessSet c3_miss(Value v, ViewNumber w, QuorumId q2id, const VProof& vproof,
+                   ProcessSet q, const RefinedQuorumSystem& rqs) {
+  ProcessSet miss;
+  for (const ProcessId a : rqs.quorum_set(q2id) & q) {
+    const NewViewAckData* ack = ack_of(vproof, a);
+    if (ack == nullptr || ack->update[1] != v ||
+        ack->updateview[1].find(w) == ack->updateview[1].end()) {
+      miss.insert(a);
+      continue;
+    }
+    const auto it = ack->updateq.find(StepView{1, w});
+    if (it == ack->updateq.end() || it->second.find(q2id) == it->second.end()) {
+      miss.insert(a);
+    }
+  }
+  return miss;
+}
+
+/// exists B in the adversary with C3(v, w, variant, Q2, B)? Collapsed to
+/// the single witness B = miss (the acceptors of Q2 n Q failing C3's
+/// consequent): any B satisfying C3 must contain miss, B downward closed
+/// puts miss in the adversary, and both P3a and P3b are antitone in B, so
+/// C3 then also holds at miss itself.
+bool c3_some_b(Value v, ViewNumber w, char variant, QuorumId q2id,
+               const VProof& vproof, ProcessSet q,
+               const RefinedQuorumSystem& rqs) {
+  const ProcessSet miss = c3_miss(v, w, q2id, vproof, q, rqs);
+  if (!rqs.adversary().contains(miss)) return false;
+  const ProcessSet q2 = rqs.quorum_set(q2id);
+  return (variant == 'a') ? rqs.p3a(q2, q, miss) : rqs.p3b(q2, q, miss);
+}
+
 bool cand3(Value v, ViewNumber w, char variant, const VProof& vproof,
            ProcessSet q, const RefinedQuorumSystem& rqs) {
   for (const QuorumId q2id : rqs.class2_ids()) {
-    bool found = false;
-    rqs.adversary().for_each_element([&](ProcessSet b) {
-      if (c3(v, w, variant, q2id, b, vproof, q, rqs)) {
-        found = true;
-        return false;
-      }
-      return true;
-    });
-    if (found) return true;
+    if (c3_some_b(v, w, variant, q2id, vproof, q, rqs)) return true;
   }
   return false;
 }
@@ -94,27 +120,20 @@ bool cand3(Value v, ViewNumber w, char variant, const VProof& vproof,
 bool valid3(Value v, ViewNumber w, char variant, const VProof& vproof,
             ProcessSet q, const RefinedQuorumSystem& rqs) {
   for (const QuorumId q2id : rqs.class2_ids()) {
-    bool ok = true;
-    rqs.adversary().for_each_element([&](ProcessSet b) {
-      if (!c3(v, w, variant, q2id, b, vproof, q, rqs)) return true;
-      // C3 holds for (Q2, B): every acceptor of Q2 n Q must satisfy the
-      // consequent.
-      for (const ProcessId a : rqs.quorum_set(q2id) & q) {
-        const NewViewAckData* ack = ack_of(vproof, a);
-        if (ack == nullptr) continue;  // not part of the proof quorum
-        const bool confirms =
-            ack->prep == v && ack->prepview.find(w) != ack->prepview.end();
-        const bool all_above = std::all_of(
-            ack->prepview.begin(), ack->prepview.end(),
-            [w](ViewNumber wp) { return wp > w; });
-        if (!confirms && !all_above) {
-          ok = false;
-          return false;
-        }
-      }
-      return true;
-    });
-    if (!ok) return false;
+    // The per-acceptor consequent below does not depend on B, so "for all
+    // B where C3 holds, the consequent holds" reduces to "if C3 holds for
+    // SOME B (the collapsed witness), the consequent holds".
+    if (!c3_some_b(v, w, variant, q2id, vproof, q, rqs)) continue;
+    for (const ProcessId a : rqs.quorum_set(q2id) & q) {
+      const NewViewAckData* ack = ack_of(vproof, a);
+      if (ack == nullptr) continue;  // not part of the proof quorum
+      const bool confirms =
+          ack->prep == v && ack->prepview.find(w) != ack->prepview.end();
+      const bool all_above = std::all_of(
+          ack->prepview.begin(), ack->prepview.end(),
+          [w](ViewNumber wp) { return wp > w; });
+      if (!confirms && !all_above) return false;
+    }
   }
   return true;
 }

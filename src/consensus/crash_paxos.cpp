@@ -3,28 +3,34 @@
 namespace rqs::consensus {
 
 void PaxosAcceptor::on_message(ProcessId from, const sim::Message& m) {
-  if (const auto* p1a = sim::msg_cast<P1aMsg>(m)) {
-    if (!promised_ || p1a->ballot > *promised_) promised_ = p1a->ballot;
-    if (p1a->ballot == *promised_) {
-      auto reply = std::make_shared<P1bMsg>();
-      reply->ballot = p1a->ballot;
-      reply->accepted_ballot = accepted_ballot_;
-      reply->accepted_value = accepted_value_;
-      send(from, std::move(reply));
+  switch (m.type()) {
+    case P1aMsg::kType: {
+      const auto& p1a = static_cast<const P1aMsg&>(m);
+      if (!promised_ || p1a.ballot > *promised_) promised_ = p1a.ballot;
+      if (p1a.ballot == *promised_) {
+        auto reply = make_msg<P1bMsg>();
+        reply->ballot = p1a.ballot;
+        reply->accepted_ballot = accepted_ballot_;
+        reply->accepted_value = accepted_value_;
+        send(from, std::move(reply));
+      }
+      return;
     }
-    return;
-  }
-  if (const auto* p2a = sim::msg_cast<P2aMsg>(m)) {
-    if (promised_ && p2a->ballot < *promised_) return;
-    promised_ = p2a->ballot;
-    accepted_ballot_ = p2a->ballot;
-    accepted_value_ = p2a->value;
-    auto reply = std::make_shared<P2bMsg>();
-    reply->ballot = p2a->ballot;
-    reply->value = p2a->value;
-    send(from, reply);
-    send_all(learners_, std::move(reply));
-    return;
+    case P2aMsg::kType: {
+      const auto& p2a = static_cast<const P2aMsg&>(m);
+      if (promised_ && p2a.ballot < *promised_) return;
+      promised_ = p2a.ballot;
+      accepted_ballot_ = p2a.ballot;
+      accepted_value_ = p2a.value;
+      auto reply = make_msg<P2bMsg>();
+      reply->ballot = p2a.ballot;
+      reply->value = p2a.value;
+      send(from, reply);
+      send_all(learners_, std::move(reply));
+      return;
+    }
+    default:
+      return;
   }
 }
 
@@ -39,39 +45,45 @@ void PaxosProposer::start_round() {
   responders_ = ProcessSet{};
   best_accepted_.reset();
   best_value_ = value_;
-  auto msg = std::make_shared<P1aMsg>();
+  auto msg = make_msg<P1aMsg>();
   msg->ballot = ballot_;
   send_all(acceptors_, std::move(msg));
   retry_timer_ = set_timer(8 * sim().delta());
 }
 
 void PaxosProposer::on_message(ProcessId from, const sim::Message& m) {
-  if (const auto* p1b = sim::msg_cast<P1bMsg>(m)) {
-    if (phase_ != Phase::kPhase1 || p1b->ballot != ballot_) return;
-    responders_.insert(from);
-    if (p1b->accepted_ballot &&
-        (!best_accepted_ || *p1b->accepted_ballot > *best_accepted_)) {
-      best_accepted_ = p1b->accepted_ballot;
-      best_value_ = p1b->accepted_value;
+  switch (m.type()) {
+    case P1bMsg::kType: {
+      const auto& p1b = static_cast<const P1bMsg&>(m);
+      if (phase_ != Phase::kPhase1 || p1b.ballot != ballot_) return;
+      responders_.insert(from);
+      if (p1b.accepted_ballot &&
+          (!best_accepted_ || *p1b.accepted_ballot > *best_accepted_)) {
+        best_accepted_ = p1b.accepted_ballot;
+        best_value_ = p1b.accepted_value;
+      }
+      if (responders_.size() >= majority()) {
+        phase_ = Phase::kPhase2;
+        responders_ = ProcessSet{};
+        auto msg = make_msg<P2aMsg>();
+        msg->ballot = ballot_;
+        msg->value = best_value_;
+        send_all(acceptors_, std::move(msg));
+      }
+      return;
     }
-    if (responders_.size() >= majority()) {
-      phase_ = Phase::kPhase2;
-      responders_ = ProcessSet{};
-      auto msg = std::make_shared<P2aMsg>();
-      msg->ballot = ballot_;
-      msg->value = best_value_;
-      send_all(acceptors_, std::move(msg));
+    case P2bMsg::kType: {
+      const auto& p2b = static_cast<const P2bMsg&>(m);
+      if (phase_ != Phase::kPhase2 || p2b.ballot != ballot_) return;
+      responders_.insert(from);
+      if (responders_.size() >= majority()) {
+        phase_ = Phase::kIdle;  // chosen; learners hear the P2b broadcast
+        cancel_timer(retry_timer_);
+      }
+      return;
     }
-    return;
-  }
-  if (const auto* p2b = sim::msg_cast<P2bMsg>(m)) {
-    if (phase_ != Phase::kPhase2 || p2b->ballot != ballot_) return;
-    responders_.insert(from);
-    if (responders_.size() >= majority()) {
-      phase_ = Phase::kIdle;  // chosen; learners hear the P2b broadcast
-      cancel_timer(retry_timer_);
-    }
-    return;
+    default:
+      return;
   }
 }
 
@@ -83,8 +95,8 @@ void PaxosProposer::on_timer(sim::TimerId timer) {
 }
 
 void PaxosLearner::on_message(ProcessId from, const sim::Message& m) {
-  const auto* p2b = sim::msg_cast<P2bMsg>(m);
-  if (p2b == nullptr || learned_) return;
+  if (m.type() != P2bMsg::kType || learned_) return;
+  const auto* p2b = static_cast<const P2bMsg*>(&m);
   ProcessSet& senders = accepted_[{p2b->ballot.round, p2b->ballot.proposer}];
   senders.insert(from);
   if (senders.size() >= acceptor_count_ / 2 + 1) {

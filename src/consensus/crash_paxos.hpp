@@ -28,22 +28,22 @@ struct Ballot {
   friend auto operator<=>(const Ballot&, const Ballot&) = default;
 };
 
-struct P1aMsg final : sim::Message {
+struct P1aMsg final : sim::TypedMessage<P1aMsg> {
   Ballot ballot;
   [[nodiscard]] std::string_view tag() const override { return "P1A"; }
 };
-struct P1bMsg final : sim::Message {
+struct P1bMsg final : sim::TypedMessage<P1bMsg> {
   Ballot ballot;                       // the promised ballot
   std::optional<Ballot> accepted_ballot;
   Value accepted_value{kBottom};
   [[nodiscard]] std::string_view tag() const override { return "P1B"; }
 };
-struct P2aMsg final : sim::Message {
+struct P2aMsg final : sim::TypedMessage<P2aMsg> {
   Ballot ballot;
   Value value{kBottom};
   [[nodiscard]] std::string_view tag() const override { return "P2A"; }
 };
-struct P2bMsg final : sim::Message {
+struct P2bMsg final : sim::TypedMessage<P2bMsg> {
   Ballot ballot;
   Value value{kBottom};
   [[nodiscard]] std::string_view tag() const override { return "P2B"; }

@@ -26,25 +26,31 @@ class RqsLearner final : public sim::Process {
 
   void on_message(ProcessId from, const sim::Message& m) override {
     if (learned_) return;
-    if (const auto* up = sim::msg_cast<UpdateMsg>(m)) {
-      if (!config_.acceptors.contains(from)) return;
-      if (const auto v = tracker_.feed(from, *up)) learn(*v);
-      return;
-    }
-    if (const auto* dec = sim::msg_cast<DecisionMsg>(m)) {
-      // Line 101: decisions from a basic subset of acceptors suffice.
-      if (!config_.acceptors.contains(from)) return;
-      ProcessSet& senders = decision_senders_[dec->value];
-      senders.insert(from);
-      if (config_.rqs->adversary().is_basic(senders)) learn(dec->value);
-      return;
+    switch (m.type()) {
+      case UpdateMsg::kType: {
+        const auto& up = static_cast<const UpdateMsg&>(m);
+        if (!config_.acceptors.contains(from)) return;
+        if (const auto v = tracker_.feed(from, up)) learn(*v);
+        return;
+      }
+      case DecisionMsg::kType: {
+        const auto& dec = static_cast<const DecisionMsg&>(m);
+        // Line 101: decisions from a basic subset of acceptors suffice.
+        if (!config_.acceptors.contains(from)) return;
+        ProcessSet& senders = decision_senders_[dec.value];
+        senders.insert(from);
+        if (config_.rqs->adversary().is_basic(senders)) learn(dec.value);
+        return;
+      }
+      default:
+        return;
     }
   }
 
   void on_timer(sim::TimerId timer) override {
     if (timer != pull_timer_ || learned_) return;
     // Lines 102-103.
-    send_all(config_.acceptors, std::make_shared<DecisionPullMsg>());
+    send_all(config_.acceptors, make_msg<DecisionPullMsg>());
     pull_timer_ = set_timer(kPullPeriodDeltas * sim().delta());
   }
 

@@ -83,7 +83,7 @@ struct SignedViewChange {
 // Wire messages.
 // --------------------------------------------------------------------------
 
-struct PrepareMsg final : sim::Message {
+struct PrepareMsg final : sim::TypedMessage<PrepareMsg> {
   Value value{kNil};
   ViewNumber view{0};
   VProof vproof;           // empty (nil) in initView
@@ -91,7 +91,7 @@ struct PrepareMsg final : sim::Message {
   [[nodiscard]] std::string_view tag() const override { return "PREPARE"; }
 };
 
-struct UpdateMsg final : sim::Message {
+struct UpdateMsg final : sim::TypedMessage<UpdateMsg> {
   RoundNumber step{1};  // 1, 2 or 3
   Value value{kNil};
   ViewNumber view{0};
@@ -106,46 +106,46 @@ struct UpdateMsg final : sim::Message {
   }
 };
 
-struct NewViewMsg final : sim::Message {
+struct NewViewMsg final : sim::TypedMessage<NewViewMsg> {
   ViewNumber view{0};
   std::vector<SignedViewChange> view_proof;
   [[nodiscard]] std::string_view tag() const override { return "NEW_VIEW"; }
 };
 
-struct NewViewAckMsg final : sim::Message {
+struct NewViewAckMsg final : sim::TypedMessage<NewViewAckMsg> {
   NewViewAckData data;
   ProcessId signer{kInvalidProcess};
   sim::Signature signature;
   [[nodiscard]] std::string_view tag() const override { return "NEW_VIEW_ACK"; }
 };
 
-struct SignReqMsg final : sim::Message {
+struct SignReqMsg final : sim::TypedMessage<SignReqMsg> {
   Value value{kNil};
   ViewNumber view{0};
   RoundNumber step{1};
   [[nodiscard]] std::string_view tag() const override { return "SIGN_REQ"; }
 };
 
-struct SignAckMsg final : sim::Message {
+struct SignAckMsg final : sim::TypedMessage<SignAckMsg> {
   SignedUpdate update;
   [[nodiscard]] std::string_view tag() const override { return "SIGN_ACK"; }
 };
 
-struct ViewChangeMsg final : sim::Message {
+struct ViewChangeMsg final : sim::TypedMessage<ViewChangeMsg> {
   SignedViewChange change;
   [[nodiscard]] std::string_view tag() const override { return "VIEW_CHANGE"; }
 };
 
-struct DecisionMsg final : sim::Message {
+struct DecisionMsg final : sim::TypedMessage<DecisionMsg> {
   Value value{kNil};
   [[nodiscard]] std::string_view tag() const override { return "DECISION"; }
 };
 
-struct DecisionPullMsg final : sim::Message {
+struct DecisionPullMsg final : sim::TypedMessage<DecisionPullMsg> {
   [[nodiscard]] std::string_view tag() const override { return "DECISION_PULL"; }
 };
 
-struct SyncMsg final : sim::Message {
+struct SyncMsg final : sim::TypedMessage<SyncMsg> {
   [[nodiscard]] std::string_view tag() const override { return "SYNC"; }
 };
 

@@ -33,7 +33,7 @@ void RqsProposer::run_propose() {
   acks_.clear();
   faulty_.clear();
   prepared_quorums_.clear();
-  auto msg = std::make_shared<NewViewMsg>();
+  auto msg = make_msg<NewViewMsg>();
   msg->view = view_;
   msg->view_proof = view_proof_;
   send_all(config_.acceptors, std::move(msg));
@@ -41,7 +41,7 @@ void RqsProposer::run_propose() {
 
 void RqsProposer::send_prepare(Value v, const VProof& vproof, ProcessSet q) {
   for (const ProcessId target : config_.acceptors) {
-    auto msg = std::make_shared<PrepareMsg>();
+    auto msg = make_msg<PrepareMsg>();
     msg->value = prepare_value_for(v, target);
     msg->view = view_;
     msg->vproof = vproof;
@@ -102,59 +102,67 @@ void RqsProposer::try_choose_and_prepare() {
 
 void RqsProposer::on_message(ProcessId from, const sim::Message& m) {
   if (halted_) return;
-  if (const auto* ack = sim::msg_cast<NewViewAckMsg>(m)) {
-    if (!consulting_ || ack->signer != from) return;
-    if (!config_.acceptors.contains(from)) return;
-    if (!ack_valid(*ack)) return;
-    acks_[from] = ack->data;
-    try_choose_and_prepare();
-    return;
-  }
-  if (const auto* vc = sim::msg_cast<ViewChangeMsg>(m)) {
-    // Fig. 14 lines 10-13.
-    if (!config_.acceptors.contains(from)) return;
-    if (vc->change.signer != from) return;
-    if (!config_.authority->verify(vc->change.signature, from,
-                                   vc->change.payload())) {
+  switch (m.type()) {
+    case NewViewAckMsg::kType: {
+      const auto& ack = static_cast<const NewViewAckMsg&>(m);
+      if (!consulting_ || ack.signer != from) return;
+      if (!config_.acceptors.contains(from)) return;
+      if (!ack_valid(ack)) return;
+      acks_[from] = ack.data;
+      try_choose_and_prepare();
       return;
     }
-    const ViewNumber next = vc->change.next_view;
-    view_changes_[next][from] = vc->change;
-    if (next <= view_ || config_.leader_of(next) != id()) return;
-    ProcessSet senders;
-    for (const auto& [a, change] : view_changes_[next]) senders.insert(a);
-    for (const Quorum& q : config_.rqs->quorums()) {
-      if (!q.set.subset_of(senders)) continue;
-      view_proof_.clear();
-      for (const auto& [a, change] : view_changes_[next]) {
-        view_proof_.push_back(change);
-      }
-      view_ = next;  // line 12
-      if (proposed_) run_propose();  // line 13/10: elected => propose
-      return;
-    }
-    return;
-  }
-  if (const auto* dec = sim::msg_cast<DecisionMsg>(m)) {
-    // Fig. 14 line 104: a quorum of identical decisions halts the proposer.
-    if (!config_.acceptors.contains(from)) return;
-    ProcessSet& senders = decision_senders_[dec->value];
-    senders.insert(from);
-    for (const Quorum& q : config_.rqs->quorums()) {
-      if (q.set.subset_of(senders)) {
-        halted_ = true;
+    case ViewChangeMsg::kType: {
+      const auto& vc = static_cast<const ViewChangeMsg&>(m);
+      // Fig. 14 lines 10-13.
+      if (!config_.acceptors.contains(from)) return;
+      if (vc.change.signer != from) return;
+      if (!config_.authority->verify(vc.change.signature, from,
+                                     vc.change.payload())) {
         return;
       }
+      const ViewNumber next = vc.change.next_view;
+      view_changes_[next][from] = vc.change;
+      if (next <= view_ || config_.leader_of(next) != id()) return;
+      ProcessSet senders;
+      for (const auto& [a, change] : view_changes_[next]) senders.insert(a);
+      for (const Quorum& q : config_.rqs->quorums()) {
+        if (!q.set.subset_of(senders)) continue;
+        view_proof_.clear();
+        for (const auto& [a, change] : view_changes_[next]) {
+          view_proof_.push_back(change);
+        }
+        view_ = next;  // line 12
+        if (proposed_) run_propose();  // line 13/10: elected => propose
+        return;
+      }
+      return;
     }
-    return;
+    case DecisionMsg::kType: {
+      const auto& dec = static_cast<const DecisionMsg&>(m);
+      // Fig. 14 line 104: a quorum of identical decisions halts the
+      // proposer.
+      if (!config_.acceptors.contains(from)) return;
+      ProcessSet& senders = decision_senders_[dec.value];
+      senders.insert(from);
+      for (const Quorum& q : config_.rqs->quorums()) {
+        if (q.set.subset_of(senders)) {
+          halted_ = true;
+          return;
+        }
+      }
+      return;
+    }
+    default:
+      return;
   }
 }
 
 void RqsProposer::on_timer(sim::TimerId timer) {
   if (timer != sync_timer_ || !sync_pending_ || halted_) return;
   sync_pending_ = false;
-  send_all(config_.acceptors, std::make_shared<SyncMsg>());
-  send_all(config_.acceptors, std::make_shared<DecisionPullMsg>());
+  send_all(config_.acceptors, make_msg<SyncMsg>());
+  send_all(config_.acceptors, make_msg<DecisionPullMsg>());
 }
 
 }  // namespace rqs::consensus

@@ -1,0 +1,32 @@
+#include "sim/message.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace rqs::sim::detail {
+
+// Debug-build guard for the compile-time type-id hashes: every concrete
+// message type registers (once, at first construction) and a collision
+// aborts with both type names, pointing at the fix (widen the hash or
+// rename one type). Release builds never call this. The mutex matters:
+// swarm workers construct messages concurrently, and each type's first
+// construction on each thread can land here simultaneously.
+bool register_message_type(MessageType id, std::string_view name) {
+  static std::mutex& mu = *new std::mutex();  // leaked: outlives all statics
+  static std::map<MessageType, std::string_view>& registry =
+      *new std::map<MessageType, std::string_view>();
+  const std::scoped_lock lock(mu);
+  const auto [it, inserted] = registry.emplace(id, name);
+  if (!inserted && it->second != name) {
+    std::fprintf(stderr,
+                 "fatal: message type id collision (%u):\n  %.*s\n  %.*s\n",
+                 id, static_cast<int>(it->second.size()), it->second.data(),
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return true;
+}
+
+}  // namespace rqs::sim::detail

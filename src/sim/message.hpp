@@ -1,31 +1,336 @@
-// Message base class for the discrete-event simulator.
+// Message layer of the discrete-event simulator: static type ids, an
+// intrusive non-atomic refcount, and a per-simulation slab pool.
 //
-// Protocols define plain structs deriving from Message; the network carries
-// them as shared_ptr<const Message> (a delivered message may be handed to
-// many receivers, so payloads are immutable after send). Receivers downcast
-// with msg_cast<M>().
+// Protocols define plain structs deriving from TypedMessage<Self>; the
+// network carries them as MessagePtr (a delivered message may be handed to
+// many receivers, so payloads are immutable after send). Receivers dispatch
+// by switching on Message::type() — a compile-time constant per concrete
+// type — and downcast with msg_cast<M>(), which is a single integer compare
+// instead of a dynamic_cast (no RTTI on the delivery hot path).
+//
+// Allocation: messages built through MessagePool::make() live in recycled
+// 64-byte-granular blocks owned by the pool; steady-state send/deliver
+// cycles allocate nothing. The refcount is deliberately non-atomic — every
+// Simulation (and the swarm workers wrapping them) is share-nothing, so an
+// atomic would buy no safety and cost a lock prefix per copy.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace rqs::sim {
 
-struct Message {
+class MessagePool;
+class MessagePtr;
+
+/// Static identifier of a concrete message type. Ids are compile-time
+/// hashes of the type name, so receivers can `switch` on them; uniqueness
+/// is enforced at first construction (debug builds) via a global registry.
+using MessageType = std::uint32_t;
+
+namespace detail {
+
+/// Compile-time name of M, via the compiler's pretty function string.
+template <typename M>
+[[nodiscard]] constexpr std::string_view type_name() noexcept {
+#if defined(__clang__) || defined(__GNUC__)
+  return __PRETTY_FUNCTION__;
+#else
+#error "unsupported compiler: need __PRETTY_FUNCTION__ for message type ids"
+#endif
+}
+
+[[nodiscard]] constexpr MessageType fnv1a32(std::string_view s) noexcept {
+  std::uint32_t h = 2166136261u;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Debug-build collision guard: aborts if two distinct concrete types hash
+/// to the same MessageType (then the hash width must grow). Returns true so
+/// it can seed a function-local static.
+bool register_message_type(MessageType id, std::string_view name);
+
+}  // namespace detail
+
+/// The static type id of concrete message type M.
+template <typename M>
+inline constexpr MessageType kMessageTypeOf =
+    detail::fnv1a32(detail::type_name<M>());
+
+/// Message base. Carries the static type id, the intrusive refcount and
+/// the owning pool (null for plain heap messages). Derive concrete types
+/// from TypedMessage<Self>, never from Message directly.
+class Message {
+ public:
   virtual ~Message() = default;
+
   /// Short human-readable tag for traces ("WR", "RD_ACK", "PREPARE", ...).
   /// Must view a string with static storage duration (a literal): the
   /// network keys its per-tag counters on the view itself, so the send hot
   /// path allocates nothing.
   [[nodiscard]] virtual std::string_view tag() const = 0;
+
+  /// Static type id of the concrete type (== M::kType for exactly one M).
+  [[nodiscard]] MessageType type() const noexcept { return type_; }
+
+ protected:
+  explicit Message(MessageType t) noexcept : type_(t) {}
+  // Copies are fresh objects: they never inherit the source's refcount or
+  // pool block.
+  Message(const Message& o) noexcept : type_(o.type_) {}
+  Message& operator=(const Message&) noexcept { return *this; }
+
+ private:
+  friend class MessagePool;
+  friend class MessagePtr;
+
+  MessageType type_;
+  mutable std::uint32_t refs_{1};
+  std::uint32_t bucket_{0};          // pool size class; meaningless if pool_ null
+  MessagePool* pool_{nullptr};       // null => allocated with plain new
 };
 
-using MessagePtr = std::shared_ptr<const Message>;
+/// CRTP base all concrete message types derive from: stamps the static
+/// type id into the header and exposes it as M::kType for switch labels.
+template <typename Derived>
+struct TypedMessage : Message {
+  static constexpr MessageType kType = kMessageTypeOf<Derived>;
 
-/// Typed view of a message; nullptr when the runtime type differs.
+  TypedMessage() noexcept(
+#ifdef NDEBUG
+      true
+#else
+      false
+#endif
+      )
+      : Message(kType) {
+#ifndef NDEBUG
+    static const bool registered =
+        detail::register_message_type(kType, detail::type_name<Derived>());
+    (void)registered;
+#endif
+  }
+};
+
+/// Typed view of a message; nullptr when the concrete type differs. One
+/// integer compare — no RTTI.
 template <typename M>
 [[nodiscard]] const M* msg_cast(const Message& m) noexcept {
-  return dynamic_cast<const M*>(&m);
+  static_assert(std::is_base_of_v<TypedMessage<M>, M>,
+                "msg_cast target must derive from TypedMessage<itself>");
+  static_assert(std::is_final_v<M>,
+                "message types must be final: the id identifies exactly one "
+                "concrete type");
+  return m.type() == M::kType ? static_cast<const M*>(&m) : nullptr;
+}
+
+template <typename M>
+class PooledMessage;
+
+/// Slab allocator for messages, one per Simulation. Blocks are bucketed by
+/// size in 64-byte classes and recycled on release, so a run's steady state
+/// reuses the same few blocks per message type instead of hitting the
+/// global allocator on every send.
+class MessagePool {
+ public:
+  MessagePool() = default;
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+  ~MessagePool() = default;  // chunks_ frees the backing slabs
+
+  /// Builds an M in a pooled block. The returned handle is mutable until
+  /// converted to a MessagePtr (i.e. sent); an unsent handle releases the
+  /// block on destruction.
+  template <typename M, typename... Args>
+  [[nodiscard]] PooledMessage<M> make(Args&&... args);
+
+  /// Observability for tests: blocks currently parked on free lists.
+  [[nodiscard]] std::size_t free_blocks() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : free_) n += f.size();
+    return n;
+  }
+  /// Total bytes of slab memory ever reserved.
+  [[nodiscard]] std::size_t reserved_bytes() const noexcept {
+    return reserved_bytes_;
+  }
+
+ private:
+  friend class MessagePtr;
+
+  static constexpr std::size_t kGranularity = 64;   // size-class step, bytes
+  static constexpr std::size_t kChunkBytes = 16 * 1024;
+
+  [[nodiscard]] static constexpr std::uint32_t bucket_of(std::size_t bytes) noexcept {
+    return static_cast<std::uint32_t>((bytes + kGranularity - 1) / kGranularity);
+  }
+
+  [[nodiscard]] void* allocate(std::uint32_t bucket) {
+    if (free_.size() <= bucket) free_.resize(bucket + 1);
+    auto& list = free_[bucket];
+    if (list.empty()) grow(bucket);
+    void* block = list.back();
+    list.pop_back();
+    return block;
+  }
+
+  void grow(std::uint32_t bucket) {
+    const std::size_t block = bucket * kGranularity;
+    const std::size_t count = std::max<std::size_t>(1, kChunkBytes / block);
+    // operator new[] returns fundamentally aligned storage and the block
+    // size is a multiple of 64, so every carved block stays aligned for
+    // any message payload (max_align_t).
+    chunks_.push_back(std::make_unique<std::byte[]>(count * block));
+    std::byte* base = chunks_.back().get();
+    auto& list = free_[bucket];
+    list.reserve(list.size() + count);
+    for (std::size_t i = 0; i < count; ++i) list.push_back(base + i * block);
+    reserved_bytes_ += count * block;
+  }
+
+  void recycle(const Message* m) noexcept {
+    const std::uint32_t bucket = m->bucket_;
+    const_cast<Message*>(m)->~Message();
+    free_[bucket].push_back(
+        const_cast<void*>(static_cast<const void*>(m)));
+  }
+
+  std::vector<std::vector<void*>> free_;  // free blocks per size class
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::size_t reserved_bytes_{0};
+};
+
+/// Shared handle to an immutable, sent message: an intrusive, non-atomic
+/// refcount in the message header. Copy = one increment; the last release
+/// returns the block to its pool (or deletes a heap message).
+class MessagePtr {
+ public:
+  constexpr MessagePtr() noexcept = default;
+  constexpr MessagePtr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  MessagePtr(const MessagePtr& o) noexcept : m_(o.m_) {
+    if (m_ != nullptr) ++m_->refs_;
+  }
+  MessagePtr(MessagePtr&& o) noexcept : m_(o.m_) { o.m_ = nullptr; }
+  MessagePtr& operator=(const MessagePtr& o) noexcept {
+    if (this != &o) {
+      reset();
+      m_ = o.m_;
+      if (m_ != nullptr) ++m_->refs_;
+    }
+    return *this;
+  }
+  MessagePtr& operator=(MessagePtr&& o) noexcept {
+    if (this != &o) {
+      reset();
+      m_ = o.m_;
+      o.m_ = nullptr;
+    }
+    return *this;
+  }
+  ~MessagePtr() { reset(); }
+
+  /// Wraps a raw message, taking over one existing reference.
+  [[nodiscard]] static MessagePtr adopt(const Message* m) noexcept {
+    MessagePtr p;
+    p.m_ = m;
+    return p;
+  }
+
+  /// Releases ownership of the single reference without decrementing;
+  /// the caller must later re-adopt (the event queue parks messages raw).
+  [[nodiscard]] const Message* detach() noexcept {
+    const Message* m = m_;
+    m_ = nullptr;
+    return m;
+  }
+
+  void reset() noexcept {
+    if (m_ != nullptr) {
+      release(m_);
+      m_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] const Message* get() const noexcept { return m_; }
+  [[nodiscard]] const Message& operator*() const noexcept { return *m_; }
+  [[nodiscard]] const Message* operator->() const noexcept { return m_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return m_ != nullptr; }
+
+  /// Drops one reference on a raw (detached) message.
+  static void release(const Message* m) noexcept {
+    assert(m->refs_ > 0);
+    if (--m->refs_ == 0) {
+      if (m->pool_ != nullptr) {
+        m->pool_->recycle(m);
+      } else {
+        delete m;
+      }
+    }
+  }
+
+ private:
+  const Message* m_{nullptr};
+};
+
+/// Unique handle to a freshly built message: mutable while fields are
+/// filled in, converts (implicitly) to a shared immutable MessagePtr when
+/// passed to send(). An unsent handle releases the message on destruction.
+template <typename M>
+class PooledMessage {
+ public:
+  explicit PooledMessage(M* m) noexcept : ptr_(MessagePtr::adopt(m)), m_(m) {}
+
+  PooledMessage(const PooledMessage&) = delete;
+  PooledMessage& operator=(const PooledMessage&) = delete;
+  PooledMessage(PooledMessage&& o) noexcept = default;
+  PooledMessage& operator=(PooledMessage&& o) noexcept = default;
+
+  [[nodiscard]] M* operator->() const noexcept { return m_; }
+  [[nodiscard]] M& operator*() const noexcept { return *m_; }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // `send(to, std::move(msg))` freezes the draft into a shared message.
+  [[nodiscard]] operator MessagePtr() && noexcept { return std::move(ptr_); }
+  /// Copy-conversion: the draft stays usable (e.g. sent to several
+  /// distinct destinations); mutating after the first send mutates what
+  /// the earlier recipients will observe, exactly as with shared_ptr.
+  [[nodiscard]] operator MessagePtr() const& noexcept { return ptr_; }  // NOLINT
+
+ private:
+  MessagePtr ptr_;
+  M* m_;
+};
+
+template <typename M, typename... Args>
+PooledMessage<M> MessagePool::make(Args&&... args) {
+  static_assert(std::is_base_of_v<TypedMessage<M>, M>,
+                "pooled messages must derive from TypedMessage<itself>");
+  static_assert(alignof(M) <= alignof(std::max_align_t),
+                "over-aligned message types are not supported by the pool");
+  constexpr std::uint32_t bucket = bucket_of(sizeof(M));
+  void* block = allocate(bucket);
+  M* m = new (block) M(std::forward<Args>(args)...);
+  m->bucket_ = bucket;
+  m->pool_ = this;
+  return PooledMessage<M>(m);
+}
+
+/// Heap-allocated variant for contexts without a pool (unit tests, ad-hoc
+/// drivers); released with plain delete.
+template <typename M, typename... Args>
+[[nodiscard]] PooledMessage<M> make_message(Args&&... args) {
+  return PooledMessage<M>(new M(std::forward<Args>(args)...));
 }
 
 }  // namespace rqs::sim

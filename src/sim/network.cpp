@@ -4,10 +4,7 @@
 
 namespace rqs::sim {
 
-void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
-  if (sim_.crashed(from)) return;
-  ++sent_;
-  ++sent_by_tag_[msg->tag()];
+void Network::send_slow(ProcessId from, ProcessId to, MessagePtr msg) {
   std::optional<SimTime> delay;
   bool decided = false;
   for (const auto& [id, rule] : rules_) {

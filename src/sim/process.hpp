@@ -28,6 +28,13 @@ class Process {
   virtual void on_timer(TimerId timer) { (void)timer; }
 
  protected:
+  /// Builds a message in the simulation's pool: mutable until passed to
+  /// send()/send_all(), recycled after the last receiver's delivery.
+  template <typename M, typename... Args>
+  [[nodiscard]] PooledMessage<M> make_msg(Args&&... args) {
+    return sim_.msg_pool().make<M>(std::forward<Args>(args)...);
+  }
+
   /// Sends a message (no-op if this process crashed).
   void send(ProcessId to, MessagePtr msg);
 

@@ -1,7 +1,6 @@
 #include "sim/simulation.hpp"
 
 #include <cassert>
-#include <limits>
 
 #include "sim/network.hpp"
 #include "sim/process.hpp"
@@ -9,11 +8,15 @@
 namespace rqs::sim {
 
 Simulation::Simulation(SimTime delta)
-    : delta_(delta), network_(std::make_unique<Network>(*this)) {
-  timer_state_.push_back(kTimerFired);  // TimerIds start at 1; slot 0 unused
-}
+    : delta_(delta), network_(std::make_unique<Network>(*this)) {}
 
-Simulation::~Simulation() = default;
+Simulation::~Simulation() {
+  // Undelivered messages still hold one reference each; drop them so the
+  // pool (destroyed after the queue) gets every block back.
+  for (const Event& ev : queue_.raw()) {
+    if (ev.kind() == Event::kDelivery) MessagePtr::release(ev.delivery.msg);
+  }
+}
 
 void Simulation::add_process(Process& p) {
   if (processes_.size() <= p.id()) processes_.resize(p.id() + 1, nullptr);
@@ -34,54 +37,119 @@ bool Simulation::crashed(ProcessId id) const {
   return id < crashed_.size() && crashed_[id] != 0;
 }
 
-void Simulation::push(SimTime at, EventPhase phase, std::function<void()> fn) {
+void Simulation::schedule_at(SimTime at, std::function<void()> fn) {
   // Clamp rather than assert: a past-time schedule compiled without asserts
   // must not reorder the queue behind events that already fired.
   if (at < now_) at = now_;
-  queue_.push(Event{at, phase, next_seq_++, std::move(fn)});
-}
-
-void Simulation::schedule_at(SimTime at, std::function<void()> fn) {
-  push(at, EventPhase::kDelivery, std::move(fn));
+  std::uint32_t slot;
+  if (!callback_free_.empty()) {
+    slot = callback_free_.back();
+    callback_free_.pop_back();
+    callbacks_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(callbacks_.size());
+    callbacks_.push_back(std::move(fn));
+  }
+  Event ev;
+  ev.at = at;
+  ev.key = next_key(kDeliveryPhase, Event::kCallback);
+  ev.callback.slot = slot;
+  queue_.push(ev);
 }
 
 void Simulation::deliver_at(SimTime at, ProcessId from, ProcessId to,
                             MessagePtr msg) {
-  push(at, EventPhase::kDelivery, [this, from, to, msg = std::move(msg)] {
-    if (crashed(to)) return;
-    Process* p = process(to);
-    if (p == nullptr) return;
-    ++messages_delivered_;
-    p->on_message(from, *msg);
-  });
+  if (at < now_) at = now_;
+  Event ev;
+  ev.at = at;
+  ev.key = next_key(kDeliveryPhase, Event::kDelivery);
+  ev.delivery = {from, to, msg.detach()};  // the event owns one reference
+  queue_.push(ev);
 }
 
 TimerId Simulation::arm_timer(ProcessId owner, SimTime delay) {
-  const TimerId id = next_timer_++;
-  timer_state_.push_back(kTimerActive);
-  push(now_ + delay, EventPhase::kTimer, [this, owner, id] {
-    const bool cancelled = timer_state_[id] != kTimerActive;
-    timer_state_[id] = kTimerFired;
-    if (cancelled || crashed(owner)) return;
-    Process* p = process(owner);
-    if (p != nullptr) p->on_timer(id);
-  });
+  std::uint32_t slot;
+  if (!timer_free_.empty()) {
+    slot = timer_free_.back();
+    timer_free_.pop_back();
+    timer_slots_[slot].active = true;
+  } else {
+    slot = static_cast<std::uint32_t>(timer_slots_.size());
+    timer_slots_.push_back(TimerSlot{1, true});
+  }
+  const TimerId id = (TimerId{timer_slots_[slot].gen} << 32) | slot;
+  SimTime at = now_ + delay;
+  if (at < now_) at = now_;
+  Event ev;
+  ev.at = at;
+  ev.key = next_key(kTimerPhase, Event::kTimer);
+  ev.timer = {id, owner};
+  queue_.push(ev);
   return id;
 }
 
 void Simulation::cancel_timer(TimerId id) {
-  if (id < timer_state_.size() && timer_state_[id] == kTimerActive) {
-    timer_state_[id] = kTimerCancelled;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  // A stale id (its timer already fired: generation bumped on slot reuse)
+  // must be a no-op — that is the point of the generation scheme.
+  if (slot < timer_slots_.size() && timer_slots_[slot].gen == gen) {
+    timer_slots_[slot].active = false;
+  }
+}
+
+void Simulation::dispatch(const Event& ev) {
+  switch (ev.kind()) {
+    case Event::kDelivery: {
+      // Adopt the event's reference so the message is released (block
+      // recycled) when delivery returns, whatever the receiver does.
+      const MessagePtr msg = MessagePtr::adopt(ev.delivery.msg);
+      const ProcessId to = ev.delivery.to;
+      if (crashed(to)) return;
+      Process* p = process(to);
+      if (p == nullptr) return;
+      ++messages_delivered_;
+      p->on_message(ev.delivery.from, *msg);
+      return;
+    }
+    case Event::kTimer: {
+      const TimerId id = ev.timer.id;
+      const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+      TimerSlot& s = timer_slots_[slot];
+      assert(s.gen == static_cast<std::uint32_t>(id >> 32) &&
+             "slot recycled before its event popped");
+      const bool cancelled = !s.active;
+      // Free the slot *before* the callback: cancelling the just-fired id
+      // inside on_timer is a stale no-op, and re-arming may legally reuse
+      // the slot under a fresh generation.
+      s.active = false;
+      if (++s.gen == 0) s.gen = 1;
+      timer_free_.push_back(slot);
+      if (cancelled || crashed(ev.timer.owner)) return;
+      Process* p = process(ev.timer.owner);
+      if (p != nullptr) p->on_timer(id);
+      return;
+    }
+    case Event::kCallback: {
+      const std::uint32_t slot = ev.callback.slot;
+      // Move the closure out and free the slot before invoking: the
+      // callback may schedule further callbacks (growing / reusing the
+      // vector) or even re-enter run().
+      std::function<void()> fn = std::move(callbacks_[slot]);
+      callbacks_[slot] = nullptr;
+      callback_free_.push_back(slot);
+      fn();
+      return;
+    }
   }
 }
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  const Event ev = queue_.pop();
   assert(ev.at >= now_);
   now_ = ev.at;
-  ev.fn();
+  dispatch(ev);
   return true;
 }
 

@@ -7,11 +7,19 @@
 // in synchronous periods. This engine realizes that model with a virtual
 // clock: every message delivery and timer expiration is an event; events
 // at equal times fire in FIFO schedule order, making runs reproducible.
+//
+// Hot-path design: the event queue is a hand-rolled 4-ary min-heap of POD
+// tagged-union events (delivery / timer / callback). Deliveries park a raw
+// refcounted message pointer, timers carry their id inline, and only the
+// rare schedule_at() callbacks touch a std::function (stored in a slot
+// vector on the side, so heap nodes stay trivially copyable). Steady-state
+// message delivery therefore allocates nothing and never copies a closure.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
@@ -29,8 +37,105 @@ inline constexpr SimTime kDefaultDelta = 1000;
 class Process;
 class Network;
 
-/// Identifier of a pending timer; cancel() uses it.
+/// Identifier of a pending timer; cancel() uses it. Encodes (generation,
+/// slot) so slots can be recycled after a timer fires or is cancelled
+/// without a stale id ever matching a newer timer. Never 0.
 using TimerId = std::uint64_t;
+
+/// One queued event: exactly 32 bytes of POD. Heap sift operations are
+/// plain copies, and the pop in step() moves this struct instead of a
+/// std::function (the old queue copied a closure per event).
+struct Event {
+  enum Kind : std::uint64_t { kDelivery = 0, kTimer = 1, kCallback = 2 };
+
+  SimTime at;
+  /// Composite tie-break AND discriminant:
+  ///   bit 63      phase (0 = delivery/callback, 1 = timer)
+  ///   bits 62..2  sequence number (FIFO within a phase)
+  ///   bits 1..0   Kind (below the sequence bits: never affects ordering)
+  /// Timers fire *after* message deliveries and callbacks scheduled for
+  /// the same instant — the synchrony bound Delta is an upper bound on
+  /// delays, so a message sent within a timeout window must be counted
+  /// when the timeout expires. Within a phase, the sequence gives FIFO
+  /// schedule order.
+  std::uint64_t key;
+  union {
+    struct {
+      ProcessId from;
+      ProcessId to;
+      const Message* msg;  // one reference, owned by the event
+    } delivery;
+    struct {
+      TimerId id;
+      ProcessId owner;
+    } timer;
+    struct {
+      std::uint32_t slot;  // index into Simulation::callbacks_
+    } callback;
+  };
+
+  [[nodiscard]] Kind kind() const noexcept { return static_cast<Kind>(key & 3); }
+};
+static_assert(sizeof(Event) == 32);
+
+/// Hand-rolled 4-ary min-heap over (at, key). A fanout of 4 halves the
+/// tree depth of a binary heap and keeps sift-down children in one cache
+/// line's worth of events, which measurably beats std::priority_queue on
+/// the delivery-heavy workloads here. Pop order is the strict total order
+/// (at, key) — identical to the previous priority_queue semantics.
+class EventHeap {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+  [[nodiscard]] const Event& top() const noexcept { return v_.front(); }
+  /// Every queued event, heap order (for destructor cleanup only).
+  [[nodiscard]] const std::vector<Event>& raw() const noexcept { return v_; }
+
+  void push(const Event& e) {
+    // Hole-shift instead of swap chains: parents slide down into the hole
+    // and the new event lands once.
+    v_.push_back(e);
+    std::size_t i = v_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(e, v_[parent])) break;
+      v_[i] = v_[parent];
+      i = parent;
+    }
+    v_[i] = e;
+  }
+
+  Event pop() {
+    const Event out = v_.front();
+    const Event last = v_.back();
+    v_.pop_back();
+    const std::size_t n = v_.size();
+    if (n > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t stop = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < stop; ++c) {
+          if (before(v_[c], v_[best])) best = c;
+        }
+        if (!before(v_[best], last)) break;
+        v_[i] = v_[best];
+        i = best;
+      }
+      v_[i] = last;
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
+    return a.at != b.at ? a.at < b.at : a.key < b.key;
+  }
+
+  std::vector<Event> v_;
+};
 
 class Simulation {
  public:
@@ -45,6 +150,10 @@ class Simulation {
 
   [[nodiscard]] Network& network() noexcept { return *network_; }
 
+  /// The simulation's message pool; Process::make_msg() routes here so
+  /// steady-state sends recycle blocks instead of allocating.
+  [[nodiscard]] MessagePool& msg_pool() noexcept { return pool_; }
+
   /// Registers a process under its id. The simulation does not own
   /// processes; the caller keeps them alive for the run's duration.
   void add_process(Process& p);
@@ -58,7 +167,8 @@ class Simulation {
   /// Schedules an arbitrary callback at absolute virtual time `at`; times
   /// in the past are clamped to now(), so a late caller cannot reorder the
   /// queue behind already-fired events. Used by scenario drivers to inject
-  /// operations and faults.
+  /// operations and faults. Callbacks share the delivery phase (they fire
+  /// before timers at the same instant, FIFO with deliveries).
   void schedule_at(SimTime at, std::function<void()> fn);
 
   /// Schedules message delivery to `to` at time `at` (used by Network).
@@ -84,44 +194,54 @@ class Simulation {
     return messages_delivered_;
   }
 
+  /// Timer bookkeeping capacity — the number of timer *slots* ever
+  /// allocated. Slots are recycled when their timer fires or its event
+  /// pops cancelled, so this is bounded by the peak number of in-flight
+  /// timers, not by the total armed over the run (the old scheme kept one
+  /// byte per timer ever armed, forever).
+  [[nodiscard]] std::size_t timer_slot_capacity() const noexcept {
+    return timer_slots_.size();
+  }
+  /// Callback bookkeeping capacity, bounded the same way.
+  [[nodiscard]] std::size_t callback_slot_capacity() const noexcept {
+    return callbacks_.size();
+  }
+
  private:
-  // Timers fire *after* message deliveries scheduled for the same instant:
-  // the synchrony bound Delta is an upper bound on delays, so a message
-  // sent within a timeout window must be counted when the timeout expires.
-  enum class EventPhase : std::uint8_t { kDelivery = 0, kTimer = 1 };
+  // Phase bit of Event::key; see Event.
+  static constexpr std::uint64_t kDeliveryPhase = 0;
+  static constexpr std::uint64_t kTimerPhase = std::uint64_t{1} << 63;
 
-  struct Event {
-    SimTime at;
-    EventPhase phase;
-    std::uint64_t seq;  // FIFO tie-break within a phase
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      if (a.phase != b.phase) return a.phase > b.phase;
-      return a.seq > b.seq;
-    }
+  struct TimerSlot {
+    std::uint32_t gen;  // bumped on free; never 0
+    bool active;        // false once cancelled (event still queued)
   };
 
-  void push(SimTime at, EventPhase phase, std::function<void()> fn);
+  [[nodiscard]] std::uint64_t next_key(std::uint64_t phase,
+                                       Event::Kind kind) noexcept {
+    return phase | (next_seq_++ << 2) | kind;
+  }
 
-  // Timer lifecycle, indexed by TimerId (ids are handed out contiguously
-  // from 1, so the vector doubles as the id -> state map).
-  enum : std::uint8_t { kTimerFired = 0, kTimerActive = 1, kTimerCancelled = 2 };
+  void dispatch(const Event& ev);
 
   SimTime now_{0};
   SimTime delta_;
   std::uint64_t next_seq_{0};
-  std::uint64_t next_timer_{1};
   std::uint64_t messages_delivered_{0};
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  MessagePool pool_;  // declared before queue_: events release refs first
+  EventHeap queue_;
   // Dense per-process state. ProcessIds are small and contiguous in every
   // harness (ProcessSet caps them at 64), so vectors keyed by id beat maps
   // on the delivery hot path; slots for unregistered ids stay null/false.
   std::vector<Process*> processes_;
   std::vector<std::uint8_t> crashed_;
-  std::vector<std::uint8_t> timer_state_;  // [0] unused; see kTimer* above
+  // Timer slots, recycled through a free list; TimerId = (gen << 32)|slot.
+  std::vector<TimerSlot> timer_slots_;
+  std::vector<std::uint32_t> timer_free_;
+  // Parked schedule_at callbacks, recycled through a free list; heap
+  // events reference them by slot so Event stays POD.
+  std::vector<std::function<void()>> callbacks_;
+  std::vector<std::uint32_t> callback_free_;
   std::unique_ptr<Network> network_;
 };
 

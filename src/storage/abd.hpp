@@ -16,20 +16,20 @@
 
 namespace rqs::storage {
 
-struct AbdWriteMsg final : sim::Message {
+struct AbdWriteMsg final : sim::TypedMessage<AbdWriteMsg> {
   Timestamp ts{0};
   Value value{kBottom};
   [[nodiscard]] std::string_view tag() const override { return "ABD_WRITE"; }
 };
-struct AbdWriteAck final : sim::Message {
+struct AbdWriteAck final : sim::TypedMessage<AbdWriteAck> {
   Timestamp ts{0};
   [[nodiscard]] std::string_view tag() const override { return "ABD_WRITE_ACK"; }
 };
-struct AbdReadMsg final : sim::Message {
+struct AbdReadMsg final : sim::TypedMessage<AbdReadMsg> {
   std::uint64_t read_no{0};
   [[nodiscard]] std::string_view tag() const override { return "ABD_READ"; }
 };
-struct AbdReadAck final : sim::Message {
+struct AbdReadAck final : sim::TypedMessage<AbdReadAck> {
   std::uint64_t read_no{0};
   Timestamp ts{0};
   Value value{kBottom};

@@ -2,10 +2,13 @@
 // generalized to a keyed register space with bounded per-key history.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cstdint>
-#include <map>
-#include <set>
+#include <initializer_list>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 #include "core/rqs.hpp"
@@ -14,7 +17,47 @@
 namespace rqs::storage {
 
 /// A set of class 2 quorum identifiers (the paper's QC'2 / Set values).
-using QuorumIdSet = std::set<QuorumId>;
+/// Flat sorted vector with set semantics: these sets hold a handful of ids
+/// (subsets of one system's class 2 quorums), so a contiguous search/insert
+/// beats std::set nodes — and copying one (each wr carries a QC'2 set, each
+/// rd_ack history slot carries its Set) is a single allocation at most.
+class QuorumIdSet {
+ public:
+  using const_iterator = std::vector<QuorumId>::const_iterator;
+
+  QuorumIdSet() = default;
+  QuorumIdSet(std::initializer_list<QuorumId> ids) {
+    for (const QuorumId id : ids) insert(id);
+  }
+
+  void insert(QuorumId id) {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), id);
+    if (it == v_.end() || *it != id) v_.insert(it, id);
+  }
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  [[nodiscard]] const_iterator find(QuorumId id) const {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), id);
+    return it != v_.end() && *it == id ? it : v_.end();
+  }
+  [[nodiscard]] bool contains(QuorumId id) const {
+    return std::binary_search(v_.begin(), v_.end(), id);
+  }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return v_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return v_.end(); }
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
+  void clear() noexcept { v_.clear(); }
+
+  friend bool operator==(const QuorumIdSet&, const QuorumIdSet&) = default;
+
+ private:
+  std::vector<QuorumId> v_;  // sorted, unique
+};
 
 /// One slot of a server's history matrix: history[ts, rnd] = <pair, sets>.
 struct HistorySlot {
@@ -27,32 +70,51 @@ struct HistorySlot {
   friend bool operator==(const HistorySlot&, const HistorySlot&) = default;
 };
 
-/// A server's history of one shared variable: rows keyed by timestamp,
+/// A server's history of one shared variable: rows in timestamp order,
 /// three slots per row (rounds 1..3). Absent rows/slots are initial.
 /// The paper deliberately keeps the entire history (Section 5); servers
 /// bound it with compact_below() once a row's timestamp is known to be
 /// below the latest *complete* write (see RqsStorageServer).
+///
+/// Layout: a flat sorted vector of rows with the three round slots inline
+/// (replacing nested std::maps). Every rd_ack copies a snapshot, readers
+/// probe slots millions of times per swarm, and compacted histories hold
+/// one or two rows — so binary search over contiguous rows wins on every
+/// axis. A per-row presence mask keeps map semantics: at() distinguishes
+/// "never created" from "created, still initial", and for_each / counts
+/// visit only created slots.
 class ServerHistory {
  public:
+  /// Round slots per row; the paper indexes history[ts, rnd], rnd in 1..3.
+  static constexpr RoundNumber kRounds = 3;
+
   /// Read access; returns the initial slot when the entry was never set.
   [[nodiscard]] const HistorySlot& at(Timestamp ts, RoundNumber rnd) const {
     static const HistorySlot kInitial{};
-    const auto row = rows_.find(ts);
-    if (row == rows_.end()) return kInitial;
-    const auto slot = row->second.find(rnd);
-    return slot == row->second.end() ? kInitial : slot->second;
+    if (rnd < 1 || rnd > kRounds) return kInitial;
+    const auto it = lower(ts);
+    if (it == rows_.end() || it->ts != ts || (it->present & bit(rnd)) == 0) {
+      return kInitial;
+    }
+    return it->slots[rnd - 1];
   }
 
-  /// Mutable access, creating the slot on demand.
+  /// Mutable access, creating the row/slot on demand.
   [[nodiscard]] HistorySlot& slot(Timestamp ts, RoundNumber rnd) {
-    return rows_[ts][rnd];
+    assert(rnd >= 1 && rnd <= kRounds);
+    auto it = rows_.begin() + (lower(ts) - rows_.begin());
+    if (it == rows_.end() || it->ts != ts) it = rows_.insert(it, Row{ts, 0, {}});
+    it->present |= bit(rnd);
+    return it->slots[rnd - 1];
   }
 
-  /// Iterates rows in timestamp order: fn(ts, rnd, slot).
+  /// Iterates created slots in (timestamp, round) order: fn(ts, rnd, slot).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [ts, row] : rows_) {
-      for (const auto& [rnd, s] : row) fn(ts, rnd, s);
+    for (const Row& r : rows_) {
+      for (RoundNumber rnd = 1; rnd <= kRounds; ++rnd) {
+        if ((r.present & bit(rnd)) != 0) fn(r.ts, rnd, r.slots[rnd - 1]);
+      }
     }
   }
 
@@ -60,11 +122,9 @@ class ServerHistory {
   /// itself (the latest complete pair) and everything above it — the rows
   /// a reader can still need — survive. Returns how many rows were erased.
   std::size_t compact_below(Timestamp floor) {
-    std::size_t erased = 0;
-    for (auto it = rows_.begin(); it != rows_.end() && it->first < floor;) {
-      it = rows_.erase(it);
-      ++erased;
-    }
+    const auto it = lower(floor);
+    const auto erased = static_cast<std::size_t>(it - rows_.begin());
+    rows_.erase(rows_.begin(), it);
     return erased;
   }
 
@@ -73,12 +133,34 @@ class ServerHistory {
   /// Total populated slots: the payload size of a rd_ack snapshot.
   [[nodiscard]] std::size_t slot_count() const noexcept {
     std::size_t n = 0;
-    for (const auto& [ts, row] : rows_) n += row.size();
+    for (const Row& r : rows_) {
+      n += static_cast<std::size_t>(std::popcount(r.present));
+    }
     return n;
   }
 
+  /// Forgets everything but keeps the row storage (readers reuse one
+  /// ServerHistory per server across reads).
+  void clear() noexcept { rows_.clear(); }
+
  private:
-  std::map<Timestamp, std::map<RoundNumber, HistorySlot>> rows_;
+  struct Row {
+    Timestamp ts;
+    std::uint8_t present;  // bit (1 << rnd) set once slot(ts, rnd) created
+    HistorySlot slots[kRounds];
+  };
+
+  [[nodiscard]] static constexpr std::uint8_t bit(RoundNumber rnd) noexcept {
+    return static_cast<std::uint8_t>(1u << rnd);
+  }
+
+  [[nodiscard]] std::vector<Row>::const_iterator lower(Timestamp ts) const {
+    return std::lower_bound(
+        rows_.begin(), rows_.end(), ts,
+        [](const Row& r, const Timestamp& t) { return r.ts < t; });
+  }
+
+  std::vector<Row> rows_;  // sorted by ts
 };
 
 /// wr<key, ts, v, QC'2, rnd> — sent by the writer in all rounds and by
@@ -88,7 +170,7 @@ class ServerHistory {
 /// pair share (ts, rnd)). `completed` is the highest pair the sender knows
 /// to be complete on this key; servers use it to bound their history (see
 /// RqsStorageServer).
-struct WrMsg final : sim::Message {
+struct WrMsg final : sim::TypedMessage<WrMsg> {
   ObjectId key{0};
   Timestamp ts{0};
   Value value{kBottom};
@@ -101,7 +183,7 @@ struct WrMsg final : sim::Message {
 };
 
 /// wr_ack<key, ts, rnd, op>.
-struct WrAck final : sim::Message {
+struct WrAck final : sim::TypedMessage<WrAck> {
   ObjectId key{0};
   Timestamp ts{0};
   RoundNumber rnd{1};
@@ -113,7 +195,7 @@ struct WrAck final : sim::Message {
 /// rd<key, read_no, rnd>. Reads stay mutation-free as in the paper:
 /// completion knowledge travels only on the write path (writer rounds and
 /// read writebacks), so a rd never changes what a server would reply.
-struct RdMsg final : sim::Message {
+struct RdMsg final : sim::TypedMessage<RdMsg> {
   ObjectId key{0};
   std::uint64_t read_no{0};
   RoundNumber rnd{1};
@@ -125,7 +207,7 @@ struct RdMsg final : sim::Message {
 /// snapshot for the key: the full history in the paper's literal protocol,
 /// a bounded suffix once the server compacts (rows at or above the latest
 /// complete timestamp it knows, plus any in-flight stragglers).
-struct RdAck final : sim::Message {
+struct RdAck final : sim::TypedMessage<RdAck> {
   ObjectId key{0};
   std::uint64_t read_no{0};
   RoundNumber rnd{1};

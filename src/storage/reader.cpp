@@ -9,7 +9,7 @@ RqsReader::RqsReader(sim::Simulation& sim, ProcessId id,
                      const RefinedQuorumSystem& rqs, ProcessSet servers,
                      Mode mode, ObjectId key)
     : sim::Process(sim, id), rqs_(rqs), servers_(servers), mode_(mode),
-      key_(key) {}
+      key_(key), history_(rqs.universe_size()) {}
 
 void RqsReader::read(DoneFn done) {
   assert(!busy() && "one outstanding operation per client");
@@ -19,7 +19,7 @@ void RqsReader::read(DoneFn done) {
   qc2_prime_.clear();
   responded_.clear();
   responded_servers_ = ProcessSet{};
-  history_.clear();
+  for (ServerHistory& h : history_) h.clear();
   highest_ts_ = 0;
   total_rounds_ = 0;
   ++read_no_;
@@ -36,9 +36,8 @@ void RqsReader::read(DoneFn done) {
 const HistorySlot& RqsReader::slot(ProcessId i, Timestamp ts,
                                    RoundNumber rnd) const {
   static const HistorySlot kInitial{};
-  const auto it = history_.find(i);
-  if (it == history_.end()) return kInitial;
-  return it->second.at(ts, rnd);
+  if (i >= history_.size()) return kInitial;
+  return history_[i].at(ts, rnd);  // an empty history reads as initial
 }
 
 bool RqsReader::read_pred(const TsValue& c, ProcessId i) const {
@@ -65,23 +64,21 @@ bool RqsReader::valid2(const TsValue& c, ProcessSet q) const {
 bool RqsReader::valid3(const TsValue& c, ProcessSet q) const {
   // exists Q2 in QC2, exists B in adversary with P3b(Q2, Q, B), such that
   // every server of Q2 n Q \ B reports <c, Set_i> in slot 1 with Q2 in
-  // Set_i. The quantification over B enumerates all adversary elements
-  // (the disjuncts are not monotone in B, so maximal elements alone would
-  // not suffice here).
+  // Set_i. The existential over B collapses to a single witness: with
+  // miss = the members of Q2 n Q that fail the report condition, any
+  // B containing miss works only if miss itself does (B is downward
+  // closed, so miss in B; and P3b is antitone in its B argument, so
+  // P3b(Q2, Q, B) implies P3b(Q2, Q, miss)). Conversely b = miss is a
+  // valid witness. So: valid3 iff miss in B and P3b(Q2, Q, miss) — no
+  // enumeration of adversary elements.
   for (const QuorumId q2id : rqs_.class2_ids()) {
     const ProcessSet q2 = rqs_.quorum_set(q2id);
-    bool found = false;
-    rqs_.adversary().for_each_element([&](ProcessSet b) {
-      if (!rqs_.p3b(q2, q, b)) return true;  // keep searching
-      const ProcessSet members = (q2 & q) - b;
-      for (const ProcessId i : members) {
-        const HistorySlot& s = slot(i, c.ts, 1);
-        if (s.pair != c || s.sets.find(q2id) == s.sets.end()) return true;
-      }
-      found = true;
-      return false;  // stop: witness found
-    });
-    if (found) return true;
+    ProcessSet miss;
+    for (const ProcessId i : q2 & q) {
+      const HistorySlot& s = slot(i, c.ts, 1);
+      if (s.pair != c || !s.sets.contains(q2id)) miss.insert(i);
+    }
+    if (rqs_.adversary().contains(miss) && rqs_.p3b(q2, q, miss)) return true;
   }
   return false;
 }
@@ -103,16 +100,9 @@ bool RqsReader::safe(const TsValue& c) const {
   return rqs_.adversary().is_basic(holders);
 }
 
-bool RqsReader::high_cand(const TsValue& c) const {
-  for (const TsValue& other : candidate_pairs()) {
-    if (other.ts > c.ts && !invalid(other)) return false;
-  }
-  return true;
-}
-
 std::vector<TsValue> RqsReader::candidate_pairs() const {
   std::vector<TsValue> out{kInitialPair};
-  for (const auto& [i, hist] : history_) {
+  for (const ServerHistory& hist : history_) {
     hist.for_each([&](Timestamp, RoundNumber rnd, const HistorySlot& s) {
       if (rnd <= 2 && std::find(out.begin(), out.end(), s.pair) == out.end()) {
         out.push_back(s.pair);
@@ -192,7 +182,7 @@ void RqsReader::start_collect_round() {
   } else {
     timer_expired_ = true;
   }
-  auto msg = std::make_shared<RdMsg>();  // line 25
+  auto msg = make_msg<RdMsg>();  // line 25
   msg->key = key_;
   msg->read_no = read_no_;
   msg->rnd = read_rnd_;
@@ -201,43 +191,49 @@ void RqsReader::start_collect_round() {
 
 void RqsReader::on_message(ProcessId from, const sim::Message& m) {
   if (!servers_.contains(from)) return;
-  if (const auto* ack = sim::msg_cast<RdAck>(m)) {
-    if (ack->key != key_ || ack->read_no != read_no_ || phase_ == Phase::kIdle) {
-      return;
-    }
-    // Lines 50-51: adopt the snapshot (any round of this read).
-    history_[from] = ack->history;
-    responded_servers_.insert(from);
-    // Lines 52-53: extend Responded with fully-acked quorums. Only quorums
-    // containing `from` can newly become complete.
-    if (from < rqs_.universe_size()) {
-      for (const QuorumId qid : rqs_.quorums_containing(from)) {
-        if (!responded_.contains(qid) &&
-            rqs_.quorum_set(qid).subset_of(responded_servers_)) {
-          responded_.insert(qid);
+  switch (m.type()) {
+    case RdAck::kType: {
+      const auto& ack = static_cast<const RdAck&>(m);
+      if (ack.key != key_ || ack.read_no != read_no_ || phase_ == Phase::kIdle) {
+        return;
+      }
+      // Lines 50-51: adopt the snapshot (any round of this read).
+      if (from < history_.size()) history_[from] = ack.history;
+      responded_servers_.insert(from);
+      // Lines 52-53: extend Responded with fully-acked quorums. Only
+      // quorums containing `from` can newly become complete.
+      if (from < rqs_.universe_size()) {
+        for (const QuorumId qid : rqs_.quorums_containing(from)) {
+          if (!responded_.contains(qid) &&
+              rqs_.quorum_set(qid).subset_of(responded_servers_)) {
+            responded_.insert(qid);
+          }
         }
       }
-    }
-    if (phase_ == Phase::kCollect && ack->rnd == read_rnd_) {
-      round_acks_.insert(from);
-      maybe_finish_collect_round();
-    }
-    return;
-  }
-  if (const auto* ack = sim::msg_cast<WrAck>(m)) {
-    if (phase_ != Phase::kWriteback1 && phase_ != Phase::kWriteback1Plain &&
-        phase_ != Phase::kWriteback2) {
+      if (phase_ == Phase::kCollect && ack.rnd == read_rnd_) {
+        round_acks_.insert(from);
+        maybe_finish_collect_round();
+      }
       return;
     }
-    // The nonce pins the ack to *this* writeback broadcast: a late ack
-    // from a previous read's writeback of the same (ts, rnd) must not
-    // count toward this read's quorum (the server it came from may never
-    // have stored this read's writeback).
-    if (ack->key != key_ || ack->op != wb_op_) return;
-    if (ack->ts != csel_.ts || ack->rnd != wb_round_) return;
-    wb_acks_.insert(from);
-    maybe_finish_writeback();
-    return;
+    case WrAck::kType: {
+      const auto& ack = static_cast<const WrAck&>(m);
+      if (phase_ != Phase::kWriteback1 && phase_ != Phase::kWriteback1Plain &&
+          phase_ != Phase::kWriteback2) {
+        return;
+      }
+      // The nonce pins the ack to *this* writeback broadcast: a late ack
+      // from a previous read's writeback of the same (ts, rnd) must not
+      // count toward this read's quorum (the server it came from may never
+      // have stored this read's writeback).
+      if (ack.key != key_ || ack.op != wb_op_) return;
+      if (ack.ts != csel_.ts || ack.rnd != wb_round_) return;
+      wb_acks_.insert(from);
+      maybe_finish_writeback();
+      return;
+    }
+    default:
+      return;
   }
 }
 
@@ -266,10 +262,11 @@ void RqsReader::maybe_finish_collect_round() {
 }
 
 void RqsReader::end_collect_round() {
+  const std::vector<TsValue> candidates = candidate_pairs();
   if (read_rnd_ == 1) {
     // Line 29: highest timestamp read anywhere (slots 1-2).
     highest_ts_ = 0;
-    for (const TsValue& c : candidate_pairs()) {
+    for (const TsValue& c : candidates) {
       for (const ProcessId i : servers_) {
         if (read_pred(c, i)) {
           highest_ts_ = std::max(highest_ts_, c.ts);
@@ -283,10 +280,23 @@ void RqsReader::end_collect_round() {
       if (rqs_.quorum_set(q2).subset_of(round_acks_)) qc2_prime_.insert(q2);
     }
   }
+  // Line 9: highCand(c) iff no candidate with a higher timestamp is
+  // not-invalid. One invalid() evaluation per candidate (instead of the
+  // literal predicate's quadratic re-checks): take the highest timestamp
+  // among not-invalid candidates; highCand(c) iff c.ts is not below it.
+  Timestamp top_valid_ts{0};
+  bool any_valid = false;
+  for (const TsValue& c : candidates) {
+    if (!invalid(c)) {
+      any_valid = true;
+      top_valid_ts = std::max(top_valid_ts, c.ts);
+    }
+  }
   // Lines 33-34: C = safe && highCand candidates.
   std::vector<TsValue> selected;
-  for (const TsValue& c : candidate_pairs()) {
-    if (safe(c) && high_cand(c)) selected.push_back(c);
+  for (const TsValue& c : candidates) {
+    const bool high_cand = !any_valid || !(top_valid_ts > c.ts);
+    if (high_cand && safe(c)) selected.push_back(c);
   }
   if (selected.empty()) {
     start_collect_round();  // repeat
@@ -347,7 +357,7 @@ void RqsReader::start_writeback(RoundNumber wb_round, const QuorumIdSet& set,
   wb_op_ = ++op_seq_;
   wb_acks_ = ProcessSet{};
   ++total_rounds_;
-  auto msg = std::make_shared<WrMsg>();  // line 60
+  auto msg = make_msg<WrMsg>();  // line 60
   msg->key = key_;
   msg->ts = csel_.ts;
   msg->value = csel_.val;

@@ -79,7 +79,6 @@ class RqsReader final : public sim::Process {
   [[nodiscard]] bool valid3(const TsValue& c, ProcessSet q) const;  // line 5
   [[nodiscard]] bool invalid(const TsValue& c) const;               // line 6
   [[nodiscard]] bool safe(const TsValue& c) const;                  // line 8
-  [[nodiscard]] bool high_cand(const TsValue& c) const;             // line 9
   /// BCD(c, 1, R) (line 1).
   [[nodiscard]] bool bcd1(const TsValue& c, RoundNumber r) const;
   /// BCD(c, 2, R) (line 2): subset of QC'2.
@@ -112,8 +111,12 @@ class RqsReader final : public sim::Process {
 
   std::uint64_t read_no_{0};
   RoundNumber read_rnd_{0};
-  std::map<ProcessId, ServerHistory> history_;  // history[i] (line 51)
-  std::set<QuorumId> responded_;                // Responded (lines 52-53)
+  // history[i] (line 51), dense by server id: servers are 0..n-1, and the
+  // predicates probe slots millions of times per swarm — a vector index
+  // beats the old per-probe map lookup. Row storage is reused across
+  // reads (clear() keeps capacity).
+  std::vector<ServerHistory> history_;
+  QuorumIdSet responded_;                       // Responded (lines 52-53)
   ProcessSet responded_servers_;                // servers acking any round
   ProcessSet round_acks_;                       // servers acking this round
   QuorumIdSet qc2_prime_;                       // QC'2 (lines 30-31)

@@ -19,42 +19,48 @@ void RqsStorageServer::note_completed(KeyState& ks, const TsValue& completed) {
 }
 
 void RqsStorageServer::on_message(ProcessId from, const sim::Message& m) {
-  if (const auto* wr = sim::msg_cast<WrMsg>(m)) {
-    KeyState& ks = keys_[wr->key];
-    note_completed(ks, wr->completed);
-    // Lines 3-6 of Figure 6: fill slots 1..rnd, guarding against
-    // overwriting a different pair at the same timestamp; the QC'2 set is
-    // accumulated only in the slot of the message's round.
-    for (RoundNumber rnd = 1; rnd <= wr->rnd; ++rnd) {
-      HistorySlot& s = ks.history.slot(wr->ts, rnd);
-      const TsValue incoming{wr->ts, wr->value};
-      if (s.is_initial() || s.pair == incoming) {
-        s.pair = incoming;
-        if (rnd == wr->rnd) {
-          s.sets.insert(wr->qc2_set.begin(), wr->qc2_set.end());
+  switch (m.type()) {
+    case WrMsg::kType: {
+      const auto& wr = static_cast<const WrMsg&>(m);
+      KeyState& ks = keys_[wr.key];
+      note_completed(ks, wr.completed);
+      // Lines 3-6 of Figure 6: fill slots 1..rnd, guarding against
+      // overwriting a different pair at the same timestamp; the QC'2 set is
+      // accumulated only in the slot of the message's round.
+      for (RoundNumber rnd = 1; rnd <= wr.rnd; ++rnd) {
+        HistorySlot& s = ks.history.slot(wr.ts, rnd);
+        const TsValue incoming{wr.ts, wr.value};
+        if (s.is_initial() || s.pair == incoming) {
+          s.pair = incoming;
+          if (rnd == wr.rnd) {
+            s.sets.insert(wr.qc2_set.begin(), wr.qc2_set.end());
+          }
         }
       }
+      auto ack = make_msg<WrAck>();
+      ack->key = wr.key;
+      ack->ts = wr.ts;
+      ack->rnd = wr.rnd;
+      ack->op = wr.op;
+      send(from, std::move(ack));
+      return;
     }
-    auto ack = std::make_shared<WrAck>();
-    ack->key = wr->key;
-    ack->ts = wr->ts;
-    ack->rnd = wr->rnd;
-    ack->op = wr->op;
-    send(from, std::move(ack));
-    return;
-  }
-  if (const auto* rd = sim::msg_cast<RdMsg>(m)) {
-    // Lines 8-9 of Figure 6: reply with the (bounded) history.
-    auto ack = std::make_shared<RdAck>();
-    ack->key = rd->key;
-    ack->read_no = rd->read_no;
-    ack->rnd = rd->rnd;
-    ack->history = history_for_reply(rd->key, from);
-    ++reply_stats_.replies;
-    reply_stats_.rows += ack->history.row_count();
-    reply_stats_.slots += ack->history.slot_count();
-    send(from, std::move(ack));
-    return;
+    case RdMsg::kType: {
+      const auto& rd = static_cast<const RdMsg&>(m);
+      // Lines 8-9 of Figure 6: reply with the (bounded) history.
+      auto ack = make_msg<RdAck>();
+      ack->key = rd.key;
+      ack->read_no = rd.read_no;
+      ack->rnd = rd.rnd;
+      ack->history = history_for_reply(rd.key, from);
+      ++reply_stats_.replies;
+      reply_stats_.rows += ack->history.row_count();
+      reply_stats_.slots += ack->history.slot_count();
+      send(from, std::move(ack));
+      return;
+    }
+    default:
+      return;
   }
 }
 

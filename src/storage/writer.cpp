@@ -24,7 +24,7 @@ void RqsWriter::write(Value v, DoneFn done) {
 void RqsWriter::start_round() {
   acked_ = ProcessSet{};
   op_ = ++op_seq_;
-  auto msg = std::make_shared<WrMsg>();
+  auto msg = make_msg<WrMsg>();
   msg->key = key_;
   msg->ts = ts_;
   msg->value = value_;
@@ -42,8 +42,9 @@ void RqsWriter::start_round() {
 }
 
 void RqsWriter::on_message(ProcessId from, const sim::Message& m) {
-  const auto* ack = sim::msg_cast<WrAck>(m);
-  if (ack == nullptr || round_ == 0) return;
+  if (m.type() != WrAck::kType) return;
+  const auto* ack = static_cast<const WrAck*>(&m);
+  if (round_ == 0) return;
   if (ack->key != key_ || ack->op != op_) return;
   if (ack->ts != ts_ || ack->rnd != round_) return;
   if (!servers_.contains(from)) return;

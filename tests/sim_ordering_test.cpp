@@ -1,0 +1,253 @@
+// Equal-time event ordering, pinned explicitly.
+//
+// The golden scenario digests cover these semantics only incidentally; this
+// suite locks them in directly so a queue rewrite cannot silently reorder:
+//   * deliveries (and schedule_at callbacks) fire before timers at the same
+//     instant — the synchrony bound Delta is an upper bound, so a message
+//     sent within a timeout window counts when the timeout expires;
+//   * FIFO schedule order within a phase, across senders and event kinds;
+//   * cancel_timer semantics around the fire instant: a same-instant
+//     delivery can still cancel (its phase comes first), a stale id is a
+//     no-op even after its slot is recycled.
+// Plus the bookkeeping bounds: timer and callback slots are recycled, so a
+// long churn run keeps both structures at the in-flight peak, not at the
+// total ever armed (the old engine kept one byte per timer forever).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rqs::sim {
+namespace {
+
+struct NoteMsg final : TypedMessage<NoteMsg> {
+  int note{0};
+  [[nodiscard]] std::string_view tag() const override { return "NOTE"; }
+};
+
+/// Appends "m<note>" per message and "t" per timer fire to a shared log.
+class Logger final : public Process {
+ public:
+  Logger(Simulation& sim, ProcessId id, std::vector<std::string>& log)
+      : Process(sim, id), log_(log) {}
+
+  void on_message(ProcessId, const Message& m) override {
+    const auto* note = msg_cast<NoteMsg>(m);
+    ASSERT_NE(note, nullptr);
+    log_.push_back("m" + std::to_string(note->note));
+  }
+  void on_timer(TimerId t) override {
+    log_.push_back("t");
+    fired.push_back(t);
+  }
+
+  using Process::cancel_timer;
+  using Process::send;
+  using Process::set_timer;
+
+  std::vector<TimerId> fired;
+  TimerId pending{0};
+
+ private:
+  std::vector<std::string>& log_;
+};
+
+MessagePtr note(int n) {
+  auto msg = make_message<NoteMsg>();
+  msg->note = n;
+  return msg;  // implicit move: the rvalue conversion to MessagePtr
+}
+
+TEST(SimOrderingTest, DeliveryBeforeTimerAtSameInstant) {
+  Simulation sim(/*delta=*/10);
+  std::vector<std::string> log;
+  Logger a(sim, 0, log), b(sim, 1, log);
+  // Timer armed first, message sent second — both due at t = 10. The
+  // delivery must still win: phase beats arrival order.
+  (void)b.set_timer(10);
+  a.send(1, note(1));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"m1", "t"}));
+}
+
+TEST(SimOrderingTest, CallbackSharesDeliveryPhaseBeforeTimers) {
+  Simulation sim(10);
+  std::vector<std::string> log;
+  Logger a(sim, 0, log), b(sim, 1, log);
+  (void)b.set_timer(10);
+  a.send(1, note(1));                                  // due 10, seq after timer
+  sim.schedule_at(10, [&] { log.push_back("cb"); });   // due 10, seq last
+  sim.run();
+  // Delivery phase is FIFO among messages and callbacks; the timer is last.
+  EXPECT_EQ(log, (std::vector<std::string>{"m1", "cb", "t"}));
+}
+
+TEST(SimOrderingTest, FifoWithinPhaseAcrossSenders) {
+  Simulation sim(10);
+  std::vector<std::string> log;
+  Logger a(sim, 0, log), b(sim, 1, log), c(sim, 2, log);
+  a.send(2, note(1));
+  b.send(2, note(2));
+  a.send(2, note(3));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"m1", "m2", "m3"}));
+}
+
+TEST(SimOrderingTest, TimersFifoWithinPhase) {
+  Simulation sim(10);
+  std::vector<std::string> log;
+  Logger a(sim, 0, log);
+  const TimerId t1 = a.set_timer(10);
+  const TimerId t2 = a.set_timer(10);
+  sim.run();
+  ASSERT_EQ(a.fired.size(), 2u);
+  EXPECT_EQ(a.fired[0], t1);
+  EXPECT_EQ(a.fired[1], t2);
+}
+
+TEST(SimOrderingTest, SameInstantDeliveryCancelsTimer) {
+  // The timer's event is already queued for t = 10 when the delivery at
+  // t = 10 cancels it ("popped but not yet fired" from the queue's point
+  // of view): delivery phase runs first, so the timer must NOT fire.
+  Simulation sim(10);
+  std::vector<std::string> log;
+  Logger b(sim, 1, log);
+
+  class Canceller final : public Process {
+   public:
+    Canceller(Simulation& sim, ProcessId id, Logger& victim)
+        : Process(sim, id), victim_(victim) {}
+    void on_message(ProcessId, const Message&) override {
+      victim_.cancel_timer(victim_.pending);
+    }
+    using Process::send;
+
+   private:
+    Logger& victim_;
+  } canceller(sim, 0, b);
+
+  // Deliver the cancel trigger to the canceller at t=10 (b's timer also 10).
+  b.pending = b.set_timer(10);
+  canceller.send(0, note(0));  // self-send, arrives t = 10, phase kDelivery
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{}));  // timer never fired
+  EXPECT_TRUE(b.fired.empty());
+}
+
+TEST(SimOrderingTest, SameInstantCallbackCancelsTimer) {
+  Simulation sim(10);
+  std::vector<std::string> log;
+  Logger a(sim, 0, log);
+  const TimerId t = a.set_timer(10);
+  sim.schedule_at(10, [&] { a.cancel_timer(t); });
+  sim.run();
+  EXPECT_TRUE(a.fired.empty());
+}
+
+TEST(SimOrderingTest, StaleCancelAfterRecycleIsNoOp) {
+  Simulation sim(10);
+  std::vector<std::string> log;
+  Logger a(sim, 0, log);
+  const TimerId t1 = a.set_timer(10);
+  sim.run();
+  ASSERT_EQ(a.fired, (std::vector<TimerId>{t1}));
+  // t2 recycles t1's slot under a fresh generation; cancelling the stale
+  // t1 id must not touch it.
+  const TimerId t2 = a.set_timer(10);
+  EXPECT_NE(t1, t2);
+  a.cancel_timer(t1);
+  sim.run();
+  ASSERT_EQ(a.fired.size(), 2u);
+  EXPECT_EQ(a.fired[1], t2);
+}
+
+TEST(SimOrderingTest, CancelInsideOwnFireIsNoOpAndReArmGetsFreshId) {
+  Simulation sim(10);
+  class ReArm final : public Process {
+   public:
+    ReArm(Simulation& sim, ProcessId id) : Process(sim, id) {}
+    void on_message(ProcessId, const Message&) override {}
+    void on_timer(TimerId t) override {
+      ids.push_back(t);
+      cancel_timer(t);  // stale by now: must not affect anything
+      if (ids.size() < 3) (void)set_timer(10);
+    }
+    using Process::set_timer;
+    std::vector<TimerId> ids;
+  } p(sim, 0);
+  (void)p.set_timer(10);
+  sim.run();
+  ASSERT_EQ(p.ids.size(), 3u);
+  EXPECT_NE(p.ids[0], p.ids[1]);
+  EXPECT_NE(p.ids[1], p.ids[2]);
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimOrderingTest, TimerSlotsStayBoundedUnderChurn) {
+  // Regression for the old engine's monotone timer_state_ vector (one byte
+  // per timer ever armed, never reclaimed). Sequential arm/fire/cancel
+  // churn must keep the slot table at the in-flight peak.
+  Simulation sim(10);
+  std::vector<std::string> log;
+  Logger a(sim, 0, log);
+  for (int round = 0; round < 10000; ++round) {
+    const TimerId keep = a.set_timer(5);
+    const TimerId drop = a.set_timer(7);
+    a.cancel_timer(drop);
+    sim.run();
+    ASSERT_EQ(a.fired.back(), keep);
+  }
+  EXPECT_EQ(a.fired.size(), 10000u);
+  EXPECT_LE(sim.timer_slot_capacity(), 2u);  // peak in-flight, not 20000
+}
+
+TEST(SimOrderingTest, CallbackSlotsStayBoundedUnderChurn) {
+  Simulation sim(10);
+  std::uint64_t runs = 0;
+  for (int round = 0; round < 10000; ++round) {
+    sim.schedule_at(sim.now() + 1, [&] { ++runs; });
+    sim.schedule_at(sim.now() + 2, [&] { ++runs; });
+    sim.run();
+  }
+  EXPECT_EQ(runs, 20000u);
+  EXPECT_LE(sim.callback_slot_capacity(), 2u);
+}
+
+TEST(SimOrderingTest, MessagePoolRecyclesBlocksAcrossARun) {
+  // Zero-allocation steady state: after warm-up, the pool's reserved slab
+  // memory must not grow however many messages a run sends.
+  Simulation sim(10);
+  std::vector<std::string> log;
+  Logger a(sim, 0, log), b(sim, 1, log);
+
+  class Chatter final : public Process {
+   public:
+    Chatter(Simulation& sim, ProcessId id) : Process(sim, id) {}
+    void on_message(ProcessId from, const Message& m) override {
+      const auto* n = msg_cast<NoteMsg>(m);
+      if (n == nullptr || n->note <= 0) return;
+      auto next = make_msg<NoteMsg>();
+      next->note = n->note - 1;
+      send(from, std::move(next));
+    }
+    void kick(ProcessId to, int n) {
+      auto msg = make_msg<NoteMsg>();
+      msg->note = n;
+      send(to, std::move(msg));
+    }
+  } x(sim, 2), y(sim, 3);
+
+  x.kick(3, 10);
+  sim.run();
+  const std::size_t warm = sim.msg_pool().reserved_bytes();
+  x.kick(3, 100000);
+  sim.run();
+  EXPECT_EQ(sim.msg_pool().reserved_bytes(), warm);
+}
+
+}  // namespace
+}  // namespace rqs::sim

@@ -10,7 +10,7 @@
 namespace rqs::sim {
 namespace {
 
-struct PingMsg final : Message {
+struct PingMsg final : TypedMessage<PingMsg> {
   int payload{0};
   [[nodiscard]] std::string_view tag() const override { return "PING"; }
 };
@@ -25,7 +25,7 @@ class Recorder final : public Process {
     if (const auto* ping = msg_cast<PingMsg>(m)) {
       received.push_back({from, ping->payload, now()});
       if (echo_) {
-        auto reply = std::make_shared<PingMsg>();
+        auto reply = make_msg<PingMsg>();
         reply->payload = ping->payload + 1;
         send(from, std::move(reply));
       }
@@ -54,9 +54,9 @@ TEST(SimTest, MessageDeliveredAfterDefaultDelta) {
   Simulation sim(/*delta=*/10);
   Recorder a(sim, 0), b(sim, 1);
   sim.network().set_default_delay(sim.delta());
-  auto msg = std::make_shared<PingMsg>();
+  auto msg = make_message<PingMsg>();
   msg->payload = 42;
-  a.send(1, msg);
+  a.send(1, std::move(msg));
   sim.run();
   ASSERT_EQ(b.received.size(), 1u);
   EXPECT_EQ(b.received[0].payload, 42);
@@ -68,7 +68,7 @@ TEST(SimTest, RoundTripTakesTwoDeltas) {
   Simulation sim(/*delta=*/10);
   Recorder a(sim, 0);
   Recorder b(sim, 1, /*echo=*/true);
-  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
   sim.run();
   ASSERT_EQ(a.received.size(), 1u);
   EXPECT_EQ(a.received[0].at, 20);
@@ -78,7 +78,7 @@ TEST(SimTest, FifoTieBreakAtEqualTimes) {
   Simulation sim(10);
   Recorder a(sim, 0), b(sim, 1);
   for (int i = 0; i < 5; ++i) {
-    auto msg = std::make_shared<PingMsg>();
+    auto msg = make_message<PingMsg>();
     msg->payload = i;
     a.send(1, std::move(msg));
   }
@@ -91,7 +91,7 @@ TEST(SimTest, CrashedProcessNeitherReceivesNorSends) {
   Simulation sim(10);
   Recorder a(sim, 0), b(sim, 1, /*echo=*/true);
   sim.crash(1);
-  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
   sim.run();
   EXPECT_TRUE(b.received.empty());
   EXPECT_TRUE(a.received.empty());
@@ -100,7 +100,7 @@ TEST(SimTest, CrashedProcessNeitherReceivesNorSends) {
 TEST(SimTest, CrashMidFlightSuppressesDelivery) {
   Simulation sim(10);
   Recorder a(sim, 0), b(sim, 1);
-  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
   sim.schedule_at(5, [&] { sim.crash(1); });
   sim.run();
   EXPECT_TRUE(b.received.empty());
@@ -161,8 +161,8 @@ TEST(SimTest, BlockRuleDropsMatchingMessages) {
   Simulation sim(10);
   Recorder a(sim, 0), b(sim, 1), c(sim, 2);
   sim.network().block(ProcessSet{0}, ProcessSet{1});
-  a.send(1, std::make_shared<PingMsg>());
-  a.send(2, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
+  a.send(2, make_message<PingMsg>());
   sim.run();
   EXPECT_TRUE(b.received.empty());
   EXPECT_EQ(c.received.size(), 1u);
@@ -173,7 +173,7 @@ TEST(SimTest, HoldUntilDelaysDelivery) {
   Simulation sim(10);
   Recorder a(sim, 0), b(sim, 1);
   sim.network().hold_until(ProcessSet{0}, ProcessSet{1}, /*until=*/500);
-  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
   sim.run();
   ASSERT_EQ(b.received.size(), 1u);
   EXPECT_EQ(b.received[0].at, 500);
@@ -184,7 +184,7 @@ TEST(SimTest, RuleRemovalRestoresDefault) {
   Recorder a(sim, 0), b(sim, 1);
   const std::size_t rule = sim.network().block(ProcessSet{0}, ProcessSet{1});
   sim.network().remove_rule(rule);
-  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
   sim.run();
   EXPECT_EQ(b.received.size(), 1u);
 }
@@ -194,7 +194,7 @@ TEST(SimTest, NewestRuleWins) {
   Recorder a(sim, 0), b(sim, 1);
   sim.network().fixed_delay(ProcessSet{0}, ProcessSet{1}, 100);
   sim.network().fixed_delay(ProcessSet{0}, ProcessSet{1}, 200);  // newer
-  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
   sim.run();
   ASSERT_EQ(b.received.size(), 1u);
   EXPECT_EQ(b.received[0].at, 200);
@@ -204,7 +204,7 @@ TEST(SimTest, LossDropsProbabilistically) {
   Simulation sim(10);
   Recorder a(sim, 0), b(sim, 1);
   sim.network().set_loss(1.0, [] { return 0.5; });  // always below 1.0
-  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
   sim.run();
   EXPECT_TRUE(b.received.empty());
 }
@@ -212,8 +212,8 @@ TEST(SimTest, LossDropsProbabilistically) {
 TEST(SimTest, MessageCountersTrack) {
   Simulation sim(10);
   Recorder a(sim, 0), b(sim, 1);
-  a.send(1, std::make_shared<PingMsg>());
-  a.send(1, std::make_shared<PingMsg>());
+  a.send(1, make_message<PingMsg>());
+  a.send(1, make_message<PingMsg>());
   sim.run();
   EXPECT_EQ(sim.network().messages_sent(), 2u);
   EXPECT_EQ(sim.messages_delivered(), 2u);
