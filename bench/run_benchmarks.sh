@@ -24,7 +24,7 @@ if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
 fi
 
 if ! command -v python3 >/dev/null 2>&1; then
-  echo "warning: python3 not found — skipping JSON validation of BENCH_*.json" >&2
+  echo "warning: python3 not found — skipping schema validation of BENCH_*.json" >&2
 fi
 
 BENCHES=(
@@ -58,8 +58,10 @@ for bench in "${BENCHES[@]}"; do
   "$bin" --benchmark_format=json \
          --benchmark_out="$out" --benchmark_out_format=json \
          ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} >/dev/null
+  # Schema validation, not just parseability: a bench that crashed mid-run
+  # or produced zero measurements must fail here, not ship a hollow file.
   if command -v python3 >/dev/null 2>&1; then
-    python3 -m json.tool "$out" >/dev/null || { echo "error: $out is not valid JSON" >&2; status=1; }
+    python3 "$ROOT/bench/check_bench_json.py" "$out" || { echo "error: $out failed schema validation" >&2; status=1; }
   fi
 done
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <type_traits>
 
 namespace rqs {
 
@@ -87,6 +88,14 @@ struct TsValue {
 
 /// The initial pair stored in every history slot: <0, bottom>.
 inline constexpr TsValue kInitialPair{0, kBottom};
+
+// Vocabulary types ride inside pooled POD-ish messages and the simulator's
+// trivially-copyable event union; keep them trivial so copying a message
+// payload or a history row never runs code.
+static_assert(std::is_trivially_copyable_v<Timestamp> &&
+              std::is_trivially_destructible_v<Timestamp>);
+static_assert(std::is_trivially_copyable_v<TsValue> &&
+              std::is_trivially_destructible_v<TsValue>);
 
 [[nodiscard]] inline std::string to_string(const TsValue& c) {
   return "<" + to_string(c.ts) + "," + value_to_string(c.val) + ">";

@@ -48,6 +48,10 @@ struct P2bMsg final : sim::TypedMessage<P2bMsg> {
   Value value{kBottom};
   [[nodiscard]] std::string_view tag() const override { return "P2B"; }
 };
+RQS_MESSAGE_LAYOUT(P1aMsg, 64);
+RQS_MESSAGE_LAYOUT(P1bMsg, 128);
+RQS_MESSAGE_LAYOUT(P2aMsg, 64);
+RQS_MESSAGE_LAYOUT(P2bMsg, 64);
 
 class PaxosAcceptor final : public sim::Process {
  public:

@@ -90,6 +90,7 @@ struct PrepareMsg final : sim::TypedMessage<PrepareMsg> {
   ProcessSet vproof_quorum;  // the quorum Q the vProof came from
   [[nodiscard]] std::string_view tag() const override { return "PREPARE"; }
 };
+RQS_MESSAGE_LAYOUT(PrepareMsg, 128);
 
 struct UpdateMsg final : sim::TypedMessage<UpdateMsg> {
   RoundNumber step{1};  // 1, 2 or 3
@@ -105,12 +106,14 @@ struct UpdateMsg final : sim::TypedMessage<UpdateMsg> {
     }
   }
 };
+RQS_MESSAGE_LAYOUT(UpdateMsg, 64);
 
 struct NewViewMsg final : sim::TypedMessage<NewViewMsg> {
   ViewNumber view{0};
   std::vector<SignedViewChange> view_proof;
   [[nodiscard]] std::string_view tag() const override { return "NEW_VIEW"; }
 };
+RQS_MESSAGE_LAYOUT(NewViewMsg, 64);
 
 struct NewViewAckMsg final : sim::TypedMessage<NewViewAckMsg> {
   NewViewAckData data;
@@ -118,6 +121,7 @@ struct NewViewAckMsg final : sim::TypedMessage<NewViewAckMsg> {
   sim::Signature signature;
   [[nodiscard]] std::string_view tag() const override { return "NEW_VIEW_ACK"; }
 };
+RQS_MESSAGE_LAYOUT(NewViewAckMsg, 384);
 
 struct SignReqMsg final : sim::TypedMessage<SignReqMsg> {
   Value value{kNil};
@@ -125,28 +129,34 @@ struct SignReqMsg final : sim::TypedMessage<SignReqMsg> {
   RoundNumber step{1};
   [[nodiscard]] std::string_view tag() const override { return "SIGN_REQ"; }
 };
+RQS_MESSAGE_LAYOUT(SignReqMsg, 64);
 
 struct SignAckMsg final : sim::TypedMessage<SignAckMsg> {
   SignedUpdate update;
   [[nodiscard]] std::string_view tag() const override { return "SIGN_ACK"; }
 };
+RQS_MESSAGE_LAYOUT(SignAckMsg, 128);
 
 struct ViewChangeMsg final : sim::TypedMessage<ViewChangeMsg> {
   SignedViewChange change;
   [[nodiscard]] std::string_view tag() const override { return "VIEW_CHANGE"; }
 };
+RQS_MESSAGE_LAYOUT(ViewChangeMsg, 64);
 
 struct DecisionMsg final : sim::TypedMessage<DecisionMsg> {
   Value value{kNil};
   [[nodiscard]] std::string_view tag() const override { return "DECISION"; }
 };
+RQS_MESSAGE_LAYOUT(DecisionMsg, 64);
 
 struct DecisionPullMsg final : sim::TypedMessage<DecisionPullMsg> {
   [[nodiscard]] std::string_view tag() const override { return "DECISION_PULL"; }
 };
+RQS_MESSAGE_LAYOUT(DecisionPullMsg, 64);
 
 struct SyncMsg final : sim::TypedMessage<SyncMsg> {
   [[nodiscard]] std::string_view tag() const override { return "SYNC"; }
 };
+RQS_MESSAGE_LAYOUT(SyncMsg, 64);
 
 }  // namespace rqs::consensus

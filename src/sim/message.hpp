@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cassert>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -122,17 +123,43 @@ struct TypedMessage : Message {
   }
 };
 
+/// A well-formed concrete message type: derives from TypedMessage<itself>
+/// (so its static id identifies exactly one type), is final (so the id can
+/// never alias a further-derived type), fits the pool's alignment contract,
+/// and cannot throw from its destructor (recycle() destroys in noexcept
+/// context). msg_cast<>, MessagePool::make<>, make_message<> and
+/// Process::make_msg<> are all constrained on this concept, so a
+/// malformed message type fails the build at the call site.
+template <typename M>
+concept ConcreteMessage =
+    std::derived_from<M, TypedMessage<M>> && std::is_final_v<M> &&
+    alignof(M) <= alignof(std::max_align_t) &&
+    std::is_nothrow_destructible_v<M>;
+
 /// Typed view of a message; nullptr when the concrete type differs. One
 /// integer compare — no RTTI.
-template <typename M>
+template <ConcreteMessage M>
 [[nodiscard]] const M* msg_cast(const Message& m) noexcept {
-  static_assert(std::is_base_of_v<TypedMessage<M>, M>,
-                "msg_cast target must derive from TypedMessage<itself>");
-  static_assert(std::is_final_v<M>,
-                "message types must be final: the id identifies exactly one "
-                "concrete type");
   return m.type() == M::kType ? static_cast<const M*>(&m) : nullptr;
 }
+
+/// Pins a message type's pool size class at compile time. Every concrete
+/// message struct carries one of these next to its definition: the budget
+/// is the 64-byte size-class ceiling the type currently occupies, so a
+/// field added casually fails the build the moment it would push the type
+/// into a bigger pool bucket (changing steady-state slab usage and, for
+/// hot-path types, the zero-allocation profile). Growing a budget is fine
+/// — it just has to be deliberate and reviewed, here, not discovered in a
+/// bench regression. `rqs-lint` (rule `typed-message`) checks that every
+/// TypedMessage subclass in src/ has exactly one such assert.
+#define RQS_MESSAGE_LAYOUT(M, MaxBytes)                                      \
+  static_assert(::rqs::sim::ConcreteMessage<M>,                              \
+                #M " must be final and derive from TypedMessage<" #M ">");   \
+  static_assert(sizeof(M) <= (MaxBytes),                                     \
+                #M " outgrew its " #MaxBytes "-byte pool size class; "       \
+                "shrink it or raise the budget deliberately");               \
+  static_assert((MaxBytes) % 64 == 0 && sizeof(M) > (MaxBytes)-64,           \
+                #M ": budget must be the exact 64-byte size-class ceiling")
 
 template <typename M>
 class PooledMessage;
@@ -151,7 +178,7 @@ class MessagePool {
   /// Builds an M in a pooled block. The returned handle is mutable until
   /// converted to a MessagePtr (i.e. sent); an unsent handle releases the
   /// block on destruction.
-  template <typename M, typename... Args>
+  template <ConcreteMessage M, typename... Args>
   [[nodiscard]] PooledMessage<M> make(Args&&... args);
 
   /// Observability for tests: blocks currently parked on free lists.
@@ -175,8 +202,9 @@ class MessagePool {
     return static_cast<std::uint32_t>((bytes + kGranularity - 1) / kGranularity);
   }
 
+  // rqs-hot-path
   [[nodiscard]] void* allocate(std::uint32_t bucket) {
-    if (free_.size() <= bucket) free_.resize(bucket + 1);
+    if (free_.size() <= bucket) free_.resize(bucket + 1);  // rqs-lint: allow(hot-path-alloc) cold — first sighting of a size class only
     auto& list = free_[bucket];
     if (list.empty()) grow(bucket);
     void* block = list.back();
@@ -198,9 +226,11 @@ class MessagePool {
     reserved_bytes_ += count * block;
   }
 
+  // rqs-hot-path
   void recycle(const Message* m) noexcept {
     const std::uint32_t bucket = m->bucket_;
     const_cast<Message*>(m)->~Message();
+    // rqs-lint: allow(hot-path-alloc) no growth: pushes into capacity vacated by allocate()'s pop of the same list
     free_[bucket].push_back(
         const_cast<void*>(static_cast<const void*>(m)));
   }
@@ -312,12 +342,8 @@ class PooledMessage {
   M* m_;
 };
 
-template <typename M, typename... Args>
+template <ConcreteMessage M, typename... Args>
 PooledMessage<M> MessagePool::make(Args&&... args) {
-  static_assert(std::is_base_of_v<TypedMessage<M>, M>,
-                "pooled messages must derive from TypedMessage<itself>");
-  static_assert(alignof(M) <= alignof(std::max_align_t),
-                "over-aligned message types are not supported by the pool");
   constexpr std::uint32_t bucket = bucket_of(sizeof(M));
   void* block = allocate(bucket);
   M* m = new (block) M(std::forward<Args>(args)...);
@@ -328,7 +354,7 @@ PooledMessage<M> MessagePool::make(Args&&... args) {
 
 /// Heap-allocated variant for contexts without a pool (unit tests, ad-hoc
 /// drivers); released with plain delete.
-template <typename M, typename... Args>
+template <ConcreteMessage M, typename... Args>
 [[nodiscard]] PooledMessage<M> make_message(Args&&... args) {
   return PooledMessage<M>(new M(std::forward<Args>(args)...));
 }

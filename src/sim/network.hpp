@@ -34,12 +34,13 @@ class TagCounts {
   using value_type = std::pair<std::string_view, std::uint64_t>;
   using const_iterator = std::vector<value_type>::const_iterator;
 
+  // rqs-hot-path
   void bump(std::string_view tag) {
     const auto it = lower(tag);
     if (it != v_.end() && it->first == tag) {
       ++it->second;
     } else {
-      v_.insert(it, {tag, 1});
+      v_.insert(it, {tag, 1});  // rqs-lint: allow(hot-path-alloc) cold — once per distinct tag, a dozen static literals per protocol
     }
   }
 
@@ -91,6 +92,7 @@ class Network {
       ProcessId from, ProcessId to, SimTime now, const Message& msg)>;
 
   /// Sends msg from `from` to `to`; called by Process::send.
+  // rqs-hot-path
   void send(ProcessId from, ProcessId to, MessagePtr msg) {
     if (sim_.crashed(from)) return;
     ++sent_;

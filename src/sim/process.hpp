@@ -30,7 +30,7 @@ class Process {
  protected:
   /// Builds a message in the simulation's pool: mutable until passed to
   /// send()/send_all(), recycled after the last receiver's delivery.
-  template <typename M, typename... Args>
+  template <ConcreteMessage M, typename... Args>
   [[nodiscard]] PooledMessage<M> make_msg(Args&&... args) {
     return sim_.msg_pool().make<M>(std::forward<Args>(args)...);
   }

@@ -57,6 +57,7 @@ void Simulation::schedule_at(SimTime at, std::function<void()> fn) {
   queue_.push(ev);
 }
 
+// rqs-hot-path
 void Simulation::deliver_at(SimTime at, ProcessId from, ProcessId to,
                             MessagePtr msg) {
   if (at < now_) at = now_;
@@ -98,6 +99,7 @@ void Simulation::cancel_timer(TimerId id) {
   }
 }
 
+// rqs-hot-path
 void Simulation::dispatch(const Event& ev) {
   switch (ev.kind()) {
     case Event::kDelivery: {
@@ -124,7 +126,7 @@ void Simulation::dispatch(const Event& ev) {
       // the slot under a fresh generation.
       s.active = false;
       if (++s.gen == 0) s.gen = 1;
-      timer_free_.push_back(slot);
+      timer_free_.push_back(slot);  // rqs-lint: allow(hot-path-alloc) bounded by the peak in-flight timer count, then recycled
       if (cancelled || crashed(ev.timer.owner)) return;
       Process* p = process(ev.timer.owner);
       if (p != nullptr) p->on_timer(id);
@@ -137,13 +139,14 @@ void Simulation::dispatch(const Event& ev) {
       // vector) or even re-enter run().
       std::function<void()> fn = std::move(callbacks_[slot]);
       callbacks_[slot] = nullptr;
-      callback_free_.push_back(slot);
+      callback_free_.push_back(slot);  // rqs-lint: allow(hot-path-alloc) bounded by the peak in-flight callback count, then recycled
       fn();
       return;
     }
   }
 }
 
+// rqs-hot-path
 bool Simulation::step() {
   if (queue_.empty()) return false;
   const Event ev = queue_.pop();

@@ -20,6 +20,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hpp"
@@ -76,7 +77,22 @@ struct Event {
 
   [[nodiscard]] Kind kind() const noexcept { return static_cast<Kind>(key & 3); }
 };
-static_assert(sizeof(Event) == 32);
+// The heap's whole performance contract, pinned at compile time: sift
+// operations are plain 32-byte copies, so Event must stay a trivially
+// copyable standard-layout POD that packs two per cache line. Anyone adding
+// a non-trivial member (a std::function, a smart pointer) fails here, not
+// in a bench regression.
+static_assert(sizeof(Event) == 32,
+              "Event must stay exactly 32 bytes: two per cache line, and "
+              "heap sifts are sized-copy loops");
+static_assert(std::is_trivially_copyable_v<Event>,
+              "Event must be trivially copyable: the 4-ary heap moves "
+              "events with plain copies");
+static_assert(std::is_standard_layout_v<Event>);
+static_assert(std::is_trivially_destructible_v<Event>,
+              "Event owns its delivery message ref manually (dispatch / "
+              "~Simulation); a destructor would double-release");
+static_assert(alignof(Event) == 8);
 
 /// Hand-rolled 4-ary min-heap over (at, key). A fanout of 4 halves the
 /// tree depth of a binary heap and keeps sift-down children in one cache
@@ -91,10 +107,11 @@ class EventHeap {
   /// Every queued event, heap order (for destructor cleanup only).
   [[nodiscard]] const std::vector<Event>& raw() const noexcept { return v_; }
 
+  // rqs-hot-path
   void push(const Event& e) {
     // Hole-shift instead of swap chains: parents slide down into the hole
     // and the new event lands once.
-    v_.push_back(e);
+    v_.push_back(e);  // rqs-lint: allow(hot-path-alloc) amortized — the heap vector reaches steady-state capacity and is reused across the run
     std::size_t i = v_.size() - 1;
     while (i > 0) {
       const std::size_t parent = (i - 1) / 4;
@@ -105,6 +122,7 @@ class EventHeap {
     v_[i] = e;
   }
 
+  // rqs-hot-path
   Event pop() {
     const Event out = v_.front();
     const Event last = v_.back();

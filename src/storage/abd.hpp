@@ -35,6 +35,10 @@ struct AbdReadAck final : sim::TypedMessage<AbdReadAck> {
   Value value{kBottom};
   [[nodiscard]] std::string_view tag() const override { return "ABD_READ_ACK"; }
 };
+RQS_MESSAGE_LAYOUT(AbdWriteMsg, 64);
+RQS_MESSAGE_LAYOUT(AbdWriteAck, 64);
+RQS_MESSAGE_LAYOUT(AbdReadMsg, 64);
+RQS_MESSAGE_LAYOUT(AbdReadAck, 64);
 
 /// ABD server: one timestamped register cell.
 class AbdServer final : public sim::Process {

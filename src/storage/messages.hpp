@@ -181,6 +181,7 @@ struct WrMsg final : sim::TypedMessage<WrMsg> {
 
   [[nodiscard]] std::string_view tag() const override { return "WR"; }
 };
+RQS_MESSAGE_LAYOUT(WrMsg, 128);
 
 /// wr_ack<key, ts, rnd, op>.
 struct WrAck final : sim::TypedMessage<WrAck> {
@@ -191,6 +192,7 @@ struct WrAck final : sim::TypedMessage<WrAck> {
 
   [[nodiscard]] std::string_view tag() const override { return "WR_ACK"; }
 };
+RQS_MESSAGE_LAYOUT(WrAck, 128);
 
 /// rd<key, read_no, rnd>. Reads stay mutation-free as in the paper:
 /// completion knowledge travels only on the write path (writer rounds and
@@ -202,6 +204,7 @@ struct RdMsg final : sim::TypedMessage<RdMsg> {
 
   [[nodiscard]] std::string_view tag() const override { return "RD"; }
 };
+RQS_MESSAGE_LAYOUT(RdMsg, 64);
 
 /// rd_ack<key, read_no, rnd, history> — carries the server's history
 /// snapshot for the key: the full history in the paper's literal protocol,
@@ -215,5 +218,6 @@ struct RdAck final : sim::TypedMessage<RdAck> {
 
   [[nodiscard]] std::string_view tag() const override { return "RD_ACK"; }
 };
+RQS_MESSAGE_LAYOUT(RdAck, 128);
 
 }  // namespace rqs::storage

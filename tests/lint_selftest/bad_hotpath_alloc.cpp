@@ -1,0 +1,56 @@
+// Planted allocations under `// rqs-hot-path` for rqs_lint's
+// `hot-path-alloc` rule — the static pin of the PR-5 zero-allocation
+// claim. This file is a lint fixture only — it is never compiled or linked.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rqs::lint_fixture {
+
+struct Ev {
+  std::int64_t at;
+  std::uint64_t key;
+};
+
+struct FakeQueue {
+  std::vector<Ev> v_;
+  std::vector<std::shared_ptr<Ev>> owned_;
+
+  // rqs-hot-path
+  void deliver(const Ev& e) {
+    v_.push_back(e);  // EXPECT-LINT: hot-path-alloc
+  }
+
+  // rqs-hot-path
+  void deliver_owned(const Ev& e) {
+    auto p = std::make_shared<Ev>(e);  // EXPECT-LINT: hot-path-alloc
+    owned_.emplace_back(std::move(p));  // EXPECT-LINT: hot-path-alloc
+  }
+
+  // rqs-hot-path
+  Ev* leak_one(const Ev& e) {
+    return new Ev(e);  // EXPECT-LINT: hot-path-alloc
+  }
+
+  // rqs-hot-path
+  void warm_up(std::size_t n) {
+    v_.reserve(n);  // EXPECT-LINT: hot-path-alloc
+  }
+
+  // Outside an annotated function, allocation is legal — the rule must not
+  // fire here.
+  void cold_setup(const Ev& e) { v_.push_back(e); }
+
+  // rqs-hot-path
+  void recycle_into_capacity(const Ev& e) {
+    // A justified suppression with its reason keeps the line clean.
+    v_.push_back(e);  // rqs-lint: allow(hot-path-alloc) steady-state capacity, recycled
+  }
+
+  // rqs-hot-path
+  Ev* placement_construct(void* block, const Ev& e) {
+    return new (block) Ev(e);  // placement new allocates nothing: allowed
+  }
+};
+
+}  // namespace rqs::lint_fixture

@@ -1,0 +1,52 @@
+// Planted nondeterminism violations: every line tagged EXPECT-LINT must be
+// flagged by rqs_lint's `nondet` rule (see tools/rqs_lint/selftest.py).
+// This file is a lint fixture only — it is never compiled or linked.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+namespace rqs::lint_fixture {
+
+// A "protocol handler" drawing from hidden global state.
+inline int handler_draws_rand() {
+  return rand() % 7;  // EXPECT-LINT: nondet
+}
+
+inline void handler_seeds_rand(unsigned s) {
+  srand(s);  // EXPECT-LINT: nondet
+}
+
+inline unsigned hardware_entropy() {
+  std::random_device rd;  // EXPECT-LINT: nondet
+  return rd();
+}
+
+inline long long wall_clock_timeout() {
+  auto t = std::chrono::system_clock::now();  // EXPECT-LINT: nondet
+  return t.time_since_epoch().count();
+}
+
+inline long long monotonic_timeout() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT-LINT: nondet
+  return t.time_since_epoch().count();
+}
+
+inline long c_time_read() {
+  return static_cast<long>(time(nullptr));  // EXPECT-LINT: nondet
+}
+
+inline bool worker_identity_leak() {
+  return std::this_thread::get_id() == std::thread::id{};  // EXPECT-LINT: nondet
+}
+
+inline const char* host_dependent_config() {
+  return getenv("RQS_MODE");  // EXPECT-LINT: nondet
+}
+
+// Deterministic time through the simulator's virtual clock is fine: the
+// word "time" alone must not trip the lexer.
+inline long long virtual_time(long long now) { return now + 1000; }
+
+}  // namespace rqs::lint_fixture

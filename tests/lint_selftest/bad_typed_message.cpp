@@ -1,0 +1,29 @@
+// Planted TypedMessage declaration bugs for rqs_lint's `typed-message`
+// rule: non-final subclasses, a mismatched CRTP argument, and a message
+// type missing from the collision-checked registry / layout asserts.
+// This file is a lint fixture only — it is never compiled or linked.
+#include <string_view>
+
+#include "sim/message.hpp"
+
+namespace rqs::lint_fixture {
+
+// Correctly shaped — but unregistered (not in message_registry_test.cpp)
+// and with no RQS_MESSAGE_LAYOUT assert, so two findings on this line.
+struct RogueMsg final : sim::TypedMessage<RogueMsg> {  // EXPECT-LINT: typed-message, typed-message
+  int payload{0};
+  [[nodiscard]] std::string_view tag() const override { return "ROGUE"; }
+};
+
+// Not final: a further-derived type would alias this static id (plus the
+// same unregistered/no-layout findings as above).
+struct OpenMsg : sim::TypedMessage<OpenMsg> {  // EXPECT-LINT: typed-message, typed-message, typed-message
+  [[nodiscard]] std::string_view tag() const override { return "OPEN"; }
+};
+
+// CRTP argument names a different type: kType would lie about identity.
+struct MaskedMsg final : sim::TypedMessage<RogueMsg> {  // EXPECT-LINT: typed-message
+  [[nodiscard]] std::string_view tag() const override { return "MASKED"; }
+};
+
+}  // namespace rqs::lint_fixture

@@ -1,0 +1,36 @@
+// Planted unordered-container violations for rqs_lint's `unordered-iter`
+// rule. Iterating a hash map in protocol code is exactly the bug class that
+// silently breaks golden trace digests: the visit order depends on the
+// hasher, the libstdc++ version and the insertion history.
+// This file is a lint fixture only — it is never compiled or linked.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rqs::lint_fixture {
+
+struct QuorumTracker {
+  std::unordered_map<std::uint32_t, int> acks;  // EXPECT-LINT: unordered-iter
+
+  int broadcast_order_dependent() const {
+    int digest = 0;
+    // The iteration itself — hash order leaks straight into the digest.
+    for (const auto& [id, n] : acks) digest = digest * 31 + static_cast<int>(id) + n;
+    return digest;
+  }
+};
+
+inline int visited_servers(const std::unordered_set<std::string>& seen) {  // EXPECT-LINT: unordered-iter
+  return static_cast<int>(seen.size());
+}
+
+// Ordered containers are fine: deterministic iteration order.
+inline int ok_ordered(const std::map<std::uint32_t, int>& acks) {
+  int digest = 0;
+  for (const auto& [id, n] : acks) digest = digest * 31 + static_cast<int>(id) + n;
+  return digest;
+}
+
+}  // namespace rqs::lint_fixture

@@ -1,0 +1,44 @@
+// A clean fixture: idiomatic repo patterns that rqs_lint must NOT flag —
+// seeded rng, virtual time, ordered containers, pooled messages, and a
+// hot-path function that only reuses capacity.
+// This file is a lint fixture only — it is never compiled or linked.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rqs::lint_fixture {
+
+// Randomness flows from an explicit seed: deterministic and replayable.
+inline std::int64_t seeded_draw(std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.uniform(0, 100);
+}
+
+// Virtual time, not a clock read.
+inline std::int64_t timeout_at(std::int64_t now, std::int64_t delta) {
+  return now + 4 * delta;
+}
+
+// Deterministic iteration over an ordered map.
+inline int ordered_digest(const std::map<std::uint32_t, int>& acks) {
+  int digest = 0;
+  for (const auto& [id, n] : acks) digest = digest * 31 + static_cast<int>(id) + n;
+  return digest;
+}
+
+struct Recycler {
+  std::vector<int> free_;
+
+  void park(int slot) { free_.push_back(slot); }  // not annotated: growth is fine
+
+  // rqs-hot-path
+  int take() {
+    const int slot = free_.back();
+    free_.pop_back();  // shrinking is not allocation
+    return slot;
+  }
+};
+
+}  // namespace rqs::lint_fixture

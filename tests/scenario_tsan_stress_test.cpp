@@ -1,0 +1,71 @@
+// Race amplifier for the ThreadSanitizer CI job, and the pin for the
+// swarm's thread-count-invariance claim.
+//
+// run_swarm()'s aggregation is share-nothing by construction: one Tally
+// per worker, a relaxed atomic cursor handing out scenario indices, a
+// join barrier before the sequential merge and shrink. This test drives
+// the same code with more workers than cores and odd worker counts, so
+// TSan sees as many distinct interleavings of the cursor and the
+// per-worker writes as a short run can produce — and asserts the reports
+// are byte-equivalent across thread counts, which is the determinism
+// property the aggregation design exists to protect.
+//
+// If TSan ever flags run_swarm here, fix the race or add a *justified*
+// entry to tools/tsan.supp with a comment explaining why it is benign —
+// never a bare suppression.
+#include <gtest/gtest.h>
+
+#include "scenario/swarm.hpp"
+
+namespace rqs::scenario {
+namespace {
+
+SwarmReport run_with_threads(std::size_t threads) {
+  SwarmOptions opts;
+  opts.scenarios = 160;
+  opts.threads = threads;
+  opts.base_seed = 42;
+  return run_swarm(opts);
+}
+
+TEST(SwarmTsanStressTest, ReportInvariantAcrossThreadCounts) {
+  const SwarmReport baseline = run_with_threads(1);
+  EXPECT_EQ(baseline.scenarios_run, 160u);
+  // 1 CPU or 64, the report must not depend on how work was sliced:
+  // oversubscribed (8), odd (3) and even (4) worker counts all agree.
+  for (const std::size_t threads : {3u, 4u, 8u}) {
+    const SwarmReport r = run_with_threads(threads);
+    EXPECT_EQ(r.digest, baseline.digest) << "threads=" << threads;
+    EXPECT_EQ(r.violating, baseline.violating) << "threads=" << threads;
+    EXPECT_EQ(r.ops_started, baseline.ops_started) << "threads=" << threads;
+    EXPECT_EQ(r.ops_completed, baseline.ops_completed)
+        << "threads=" << threads;
+    EXPECT_EQ(r.liveness_checked, baseline.liveness_checked)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SwarmTsanStressTest, FailurePathAggregatesUnderContention) {
+  // The failing-seed path (per-worker vectors merged post-join, then
+  // sequential re-derivation + shrink) under many workers: reproducers
+  // must come out identical to the single-threaded run.
+  SwarmOptions opts;
+  opts.scenarios = 300;
+  opts.threads = 8;
+  opts.base_seed = 1;
+  opts.generator = ScenarioGenerator::fig1_hunt();
+  const SwarmReport contended = run_swarm(opts);
+  opts.threads = 1;
+  const SwarmReport serial = run_swarm(opts);
+  ASSERT_FALSE(contended.failures.empty());
+  ASSERT_EQ(contended.failures.size(), serial.failures.size());
+  for (std::size_t i = 0; i < contended.failures.size(); ++i) {
+    EXPECT_EQ(contended.failures[i].seed, serial.failures[i].seed);
+    EXPECT_EQ(contended.failures[i].violations, serial.failures[i].violations);
+    EXPECT_EQ(contended.failures[i].shrunk_entries,
+              serial.failures[i].shrunk_entries);
+  }
+}
+
+}  // namespace
+}  // namespace rqs::scenario
