@@ -34,6 +34,7 @@ BENCHES=(
   bench_graceful_degradation
   bench_resilience_sweep
   bench_rqs_enumeration
+  bench_rqs_scale
   bench_rqs_verify
   bench_scenario_swarm
   bench_sim_hotpath

@@ -1,9 +1,12 @@
 // Subset enumeration helpers used by the RQS property checkers, the
 // construction validators and the exhaustive RQS enumeration of small
-// systems (the open question of Section 6).
+// systems (the open question of Section 6). Width-generic: every enumerator
+// works for any BasicProcessSet<Words> instantiation.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "common/process_set.hpp"
@@ -13,15 +16,15 @@ namespace rqs {
 /// Calls `fn(subset)` for every subset of `base` of exactly `k` elements.
 /// `fn` may return void, or bool where returning false stops enumeration
 /// early (and makes this function return false).
-template <typename Fn>
-bool for_each_subset_of_size(ProcessSet base, std::size_t k, Fn&& fn) {
+template <typename Set, typename Fn>
+bool for_each_subset_of_size(const Set& base, std::size_t k, Fn&& fn) {
   const std::vector<ProcessId> elems = base.members();
   if (k > elems.size()) return true;
   // Classic combination enumeration over the member vector.
   std::vector<std::size_t> idx(k);
   for (std::size_t i = 0; i < k; ++i) idx[i] = i;
   while (true) {
-    ProcessSet subset;
+    Set subset;
     for (std::size_t i : idx) subset.insert(elems[i]);
     if constexpr (std::is_void_v<decltype(fn(subset))>) {
       fn(subset);
@@ -45,34 +48,71 @@ bool for_each_subset_of_size(ProcessSet base, std::size_t k, Fn&& fn) {
 
 /// Calls `fn(subset)` for every subset of `base` (including the empty set
 /// and base itself). `fn` may return void or bool (false stops early).
-template <typename Fn>
-bool for_each_subset(ProcessSet base, Fn&& fn) {
-  const std::uint64_t b = base.mask();
-  // Enumerate submasks of b, including 0, via the standard trick.
-  std::uint64_t sub = b;
-  while (true) {
-    ProcessSet s = ProcessSet::from_mask(sub);
-    if constexpr (std::is_void_v<decltype(fn(s))>) {
-      fn(s);
-    } else {
-      if (!fn(s)) return false;
+/// One-word sets use the classic submask-walk; wider sets enumerate over
+/// the member vector (|base| <= 63 required there — callers pass adversary
+/// elements and other small sets, never a 256-process universe).
+template <typename Set, typename Fn>
+bool for_each_subset(const Set& base, Fn&& fn) {
+  constexpr bool kStops = !std::is_void_v<decltype(fn(std::declval<Set&>()))>;
+  if constexpr (Set::kWords == 1) {
+    const std::uint64_t b = base.mask();
+    // Enumerate submasks of b, including 0, via the standard trick.
+    std::uint64_t sub = b;
+    while (true) {
+      Set s = Set::from_mask(sub);
+      if constexpr (kStops) {
+        if (!fn(s)) return false;
+      } else {
+        fn(s);
+      }
+      if (sub == 0) return true;
+      sub = (sub - 1) & b;
     }
-    if (sub == 0) return true;
-    sub = (sub - 1) & b;
+  } else {
+    const std::vector<ProcessId> elems = base.members();
+    if (elems.size() >= 64) {
+      detail::process_set_bounds_failure(elems.size(), 63,
+                                         "subset-enumeration base size");
+    }
+    const std::uint64_t limit = std::uint64_t{1} << elems.size();
+    for (std::uint64_t pick = 0; pick < limit; ++pick) {
+      Set s;
+      for (std::size_t i = 0; i < elems.size(); ++i) {
+        if ((pick >> i) & 1u) s.insert(elems[i]);
+      }
+      if constexpr (kStops) {
+        if (!fn(s)) return false;
+      } else {
+        fn(s);
+      }
+    }
+    return true;
   }
 }
 
-/// Binomial coefficient C(n, k) for n <= 64, exact whenever the result fits
-/// in uint64_t. The multiply-then-divide recurrence is evaluated in 128-bit
-/// arithmetic: the 64-bit intermediate `result * (n - i)` overflows for n
-/// near 64 (e.g. C(64, 32)) even though every partial binomial fits.
+/// binomial() saturates to this sentinel when C(n, k) does not fit in 64
+/// bits (no real binomial coefficient equals 2^64 - 1).
+inline constexpr std::uint64_t kBinomialSaturated =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Binomial coefficient C(n, k), exact whenever the result fits in
+/// uint64_t and kBinomialSaturated otherwise — callers sizing containers
+/// must treat the sentinel as "too large to materialize". The
+/// multiply-then-divide recurrence is evaluated in 128-bit arithmetic with
+/// an explicit pre-multiplication overflow check, so the function is exact
+/// for every n up to (at least) 256: the partial binomials C(n, i) are
+/// nondecreasing for i <= k <= n/2, hence the first overflowing partial
+/// proves the final value overflows too.
 [[nodiscard]] constexpr std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
   if (k > n) return 0;
   if (k > n - k) k = n - k;
+  constexpr unsigned __int128 kMax128 = ~static_cast<unsigned __int128>(0);
   unsigned __int128 result = 1;
   for (std::uint64_t i = 0; i < k; ++i) {
+    if (result > kMax128 / (n - i)) return kBinomialSaturated;
     result = result * (n - i) / (i + 1);
   }
+  if (result > kBinomialSaturated - 1) return kBinomialSaturated;
   return static_cast<std::uint64_t>(result);
 }
 

@@ -1,27 +1,52 @@
 #include "common/process_set.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 namespace rqs {
 
-std::ostream& operator<<(std::ostream& os, const ProcessSet& s) {
+namespace detail {
+
+void process_set_bounds_failure(std::size_t value, std::size_t limit,
+                                const char* what) {
+  std::fprintf(stderr,
+               "rqs: process-set %s %zu out of range (limit %zu)\n", what,
+               value, limit);
+  std::abort();
+}
+
+}  // namespace detail
+
+template <std::size_t Words>
+std::ostream& operator<<(std::ostream& os, const BasicProcessSet<Words>& s) {
   return os << s.to_string();
 }
 
-std::vector<ProcessSet> keep_maximal_sets(std::vector<ProcessSet> sets) {
+template <std::size_t Words>
+std::vector<BasicProcessSet<Words>> keep_maximal_sets(
+    std::vector<BasicProcessSet<Words>> sets) {
+  using Set = BasicProcessSet<Words>;
   // Largest first, so each candidate only needs to look at survivors.
   std::sort(sets.begin(), sets.end(),
-            [](ProcessSet a, ProcessSet b) { return a.size() > b.size(); });
-  std::vector<ProcessSet> maximal;
-  for (const ProcessSet e : sets) {
+            [](const Set& a, const Set& b) { return a.size() > b.size(); });
+  std::vector<Set> maximal;
+  for (const Set& e : sets) {
     const bool covered = std::any_of(
         maximal.begin(), maximal.end(),
-        [e](ProcessSet m) { return e.subset_of(m); });
+        [&e](const Set& m) { return e.subset_of(m); });
     if (!covered) maximal.push_back(e);
   }
   std::sort(maximal.begin(), maximal.end());
   return maximal;
 }
+
+template std::ostream& operator<< <1>(std::ostream&, const BasicProcessSet<1>&);
+template std::ostream& operator<< <4>(std::ostream&, const BasicProcessSet<4>&);
+template std::vector<BasicProcessSet<1>> keep_maximal_sets<1>(
+    std::vector<BasicProcessSet<1>>);
+template std::vector<BasicProcessSet<4>> keep_maximal_sets<4>(
+    std::vector<BasicProcessSet<4>>);
 
 }  // namespace rqs

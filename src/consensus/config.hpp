@@ -11,8 +11,10 @@
 
 namespace rqs::consensus {
 
-/// Conventional process ids (all < ProcessSet::kMaxProcesses so that
-/// network scripting can address every role through ProcessSet rules).
+/// Conventional process ids (all < ProcessSet::kMaxProcesses = 64: the
+/// consensus layer is 1-word by construction — see the width-selection
+/// rule in common/process_set.hpp — so network scripting can address
+/// every role through ProcessSet rules).
 /// Acceptors use ids 0..n-1 (matching RQS element indices).
 inline constexpr ProcessId kFirstProposerId = 30;
 inline constexpr ProcessId kFirstLearnerId = 45;

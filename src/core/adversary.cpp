@@ -1,3 +1,6 @@
+// Width instantiations of BasicAdversary. The member definitions are
+// templates (this file provides them and stamps out the two supported
+// widths); everything width-generic funnels through common/combinatorics.
 #include "core/adversary.hpp"
 
 #include <algorithm>
@@ -7,49 +10,76 @@
 
 namespace rqs {
 
-Adversary::Adversary(std::size_t n, std::vector<ProcessSet> elements)
+namespace {
+
+// Materializing a threshold view beyond this many elements is a bug in the
+// caller (the analytic threshold paths never need the view); hard-fail
+// instead of attempting a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxMaterializedView = std::uint64_t{1} << 24;
+
+}  // namespace
+
+template <class Set>
+BasicAdversary<Set>::BasicAdversary(std::size_t n, std::vector<Set> elements)
     : n_(n), maximal_(keep_maximal_sets(std::move(elements))) {
-  assert(n <= ProcessSet::kMaxProcesses);
-  for ([[maybe_unused]] const ProcessSet m : maximal_) {
-    assert(m.subset_of(ProcessSet::universe(n)));
+  if (n > Set::kMaxProcesses) {
+    detail::process_set_bounds_failure(n, Set::kMaxProcesses,
+                                       "adversary universe size");
+  }
+  for ([[maybe_unused]] const Set& m : maximal_) {
+    assert(m.subset_of(Set::universe(n)));
   }
 }
 
-Adversary Adversary::threshold(std::size_t n, std::size_t k) {
-  assert(n <= ProcessSet::kMaxProcesses);
+template <class Set>
+BasicAdversary<Set> BasicAdversary<Set>::threshold(std::size_t n, std::size_t k) {
+  if (n > Set::kMaxProcesses) {
+    detail::process_set_bounds_failure(n, Set::kMaxProcesses,
+                                       "adversary universe size");
+  }
   assert(k <= n);
-  return Adversary{n, k};
+  return BasicAdversary{n, k};
 }
 
-Adversary Adversary::none(std::size_t n) {
-  return Adversary{n, std::vector<ProcessSet>{}};
+template <class Set>
+BasicAdversary<Set> BasicAdversary<Set>::none(std::size_t n) {
+  return BasicAdversary{n, std::vector<Set>{}};
 }
 
-std::vector<ProcessSet> Adversary::maximal_elements() const {
+template <class Set>
+std::vector<Set> BasicAdversary<Set>::maximal_elements() const {
   if (!is_threshold()) return maximal_;
-  std::vector<ProcessSet> out;
+  std::vector<Set> out;
   out.reserve(binomial(n_, threshold_k()));
-  for_each_subset_of_size(ProcessSet::universe(n_), threshold_k(),
-                          [&out](ProcessSet s) { out.push_back(s); });
+  for_each_subset_of_size(Set::universe(n_), threshold_k(),
+                          [&out](const Set& s) { out.push_back(s); });
   return out;
 }
 
-std::span<const ProcessSet> Adversary::maximal_view() const {
+template <class Set>
+std::span<const Set> BasicAdversary<Set>::maximal_view() const {
   if (!is_threshold()) return maximal_;
   if (!threshold_view_built_) {
-    threshold_view_.reserve(binomial(n_, threshold_k()));
+    const std::uint64_t count = binomial(n_, threshold_k());
+    if (count >= kMaxMaterializedView) {
+      detail::process_set_bounds_failure(
+          static_cast<std::size_t>(count >> 32), 0,
+          "threshold maximal view C(n,k)>>32 (use the analytic paths)");
+    }
+    threshold_view_.reserve(count);
     for_each_subset_of_size(
-        ProcessSet::universe(n_), threshold_k(),
-        [this](ProcessSet s) { threshold_view_.push_back(s); });
+        Set::universe(n_), threshold_k(),
+        [this](const Set& s) { threshold_view_.push_back(s); });
     threshold_view_built_ = true;
   }
   return threshold_view_;
 }
 
-ProcessSet Adversary::sample_maximal(Rng& rng) const {
+template <class Set>
+Set BasicAdversary<Set>::sample_maximal(Rng& rng) const {
   if (is_threshold()) {
     // Uniform k-subset of {0..n-1} by a partial Fisher-Yates over ids.
-    ProcessSet out;
+    Set out;
     std::vector<ProcessId> ids(n_);
     for (std::size_t i = 0; i < n_; ++i) ids[i] = static_cast<ProcessId>(i);
     for (std::size_t i = 0; i < threshold_k(); ++i) {
@@ -66,21 +96,23 @@ ProcessSet Adversary::sample_maximal(Rng& rng) const {
       rng.uniform(0, static_cast<std::int64_t>(maximal_.size()) - 1))];
 }
 
-bool Adversary::contains(ProcessSet x) const {
+template <class Set>
+bool BasicAdversary<Set>::contains(const Set& x) const {
   if (is_threshold()) {
     // Members outside the universe disqualify x, exactly as on the general
     // path where every maximal element lives inside the universe.
-    return x.subset_of(ProcessSet::universe(n_)) && x.size() <= threshold_k();
+    return x.subset_of(Set::universe(n_)) && x.size() <= threshold_k();
   }
   return std::any_of(maximal_.begin(), maximal_.end(),
-                     [x](ProcessSet m) { return x.subset_of(m); });
+                     [&x](const Set& m) { return x.subset_of(m); });
 }
 
-bool Adversary::is_large(ProcessSet x) const {
+template <class Set>
+bool BasicAdversary<Set>::is_large(const Set& x) const {
   if (is_threshold()) {
     // A member outside the universe cannot be covered by any union of
     // in-universe elements, so x is large — as on the general path.
-    if (!x.subset_of(ProcessSet::universe(n_))) return true;
+    if (!x.subset_of(Set::universe(n_))) return true;
     // Within the universe, x escapes every union of two size-<=k sets iff
     // |x| >= 2k+1.
     return x.size() >= 2 * threshold_k() + 1;
@@ -88,22 +120,23 @@ bool Adversary::is_large(ProcessSet x) const {
   // Checking maximal pairs suffices: any B1 u B2 is covered by a union of
   // maximal elements. Note B = {} makes every set vacuously large and
   // B = {{}} makes exactly the non-empty sets large.
-  for (const ProcessSet b1 : maximal_) {
-    for (const ProcessSet b2 : maximal_) {
+  for (const Set& b1 : maximal_) {
+    for (const Set& b2 : maximal_) {
       if (x.subset_of(b1 | b2)) return false;
     }
   }
   return true;
 }
 
-std::string Adversary::to_string() const {
+template <class Set>
+std::string BasicAdversary<Set>::to_string() const {
   if (is_threshold()) {
     return "B_" + std::to_string(threshold_k()) + " over " +
            std::to_string(n_) + " processes";
   }
   std::string out = "{";
   bool first = true;
-  for (const ProcessSet m : maximal_) {
+  for (const Set& m : maximal_) {
     if (!first) out += ", ";
     out += m.to_string();
     first = false;
@@ -111,5 +144,8 @@ std::string Adversary::to_string() const {
   out += "} (maximal elements) over " + std::to_string(n_) + " processes";
   return out;
 }
+
+template class BasicAdversary<ProcessSet>;
+template class BasicAdversary<WideProcessSet>;
 
 }  // namespace rqs

@@ -12,6 +12,13 @@
 // closure. The paper's Definition 5 notions of *basic* subset (not in B)
 // and *large* subset (not covered by the union of any two elements of B)
 // are first-class queries here because both protocols use them pervasively.
+//
+// The class is templated on the process-set width: Adversary
+// (= BasicAdversary<ProcessSet>) is the historical 64-process form the
+// protocol layers use; WideAdversary (= BasicAdversary<WideProcessSet>)
+// covers universes up to 256 processes for the scale-out analysis paths.
+// Threshold adversaries stay fully analytic at any width, so B_k over 256
+// processes never materializes its C(256, k) maximal elements.
 #pragma once
 
 #include <optional>
@@ -24,22 +31,23 @@
 
 namespace rqs {
 
-class Adversary {
+template <class Set>
+class BasicAdversary {
  public:
   /// General adversary from an explicit list of elements over universe
   /// {0..n-1}. The list is normalized: non-maximal elements are dropped.
   /// An empty list yields the degenerate adversary B = {} (no subset,
   /// not even the empty one, can be Byzantine). Pass {{}} (a list holding
   /// the empty set) for the crash-only adversary B = { {} }.
-  Adversary(std::size_t n, std::vector<ProcessSet> elements);
+  BasicAdversary(std::size_t n, std::vector<Set> elements);
 
   /// The k-bounded threshold adversary B_k: all subsets of size <= k.
   /// threshold(n, 0) is the crash-only adversary { {} }.
-  [[nodiscard]] static Adversary threshold(std::size_t n, std::size_t k);
+  [[nodiscard]] static BasicAdversary threshold(std::size_t n, std::size_t k);
 
   /// The adversary B = {} containing no element at all. With it Property 1
   /// holds vacuously; the paper notes Property 1 implies Property 3 then.
-  [[nodiscard]] static Adversary none(std::size_t n);
+  [[nodiscard]] static BasicAdversary none(std::size_t n);
 
   [[nodiscard]] std::size_t universe_size() const noexcept { return n_; }
   [[nodiscard]] bool is_threshold() const noexcept { return threshold_k_.has_value(); }
@@ -50,14 +58,16 @@ class Adversary {
   /// materializes all C(n, k) size-k subsets (use maximal_view() or
   /// for_each_maximal_element() instead where possible); for general
   /// adversaries it copies the stored list.
-  [[nodiscard]] std::vector<ProcessSet> maximal_elements() const;
+  [[nodiscard]] std::vector<Set> maximal_elements() const;
 
   /// Maximal elements as a non-owning view. For general adversaries this is
   /// the stored list (zero cost); for threshold adversaries the C(n, k)
   /// subsets are materialized once on first call and cached, so repeated
   /// callers (e.g. the property checkers' B loops) never re-allocate.
   /// The view is invalidated by destroying or moving the adversary.
-  [[nodiscard]] std::span<const ProcessSet> maximal_view() const;
+  /// Hard-fails when C(n, k) is too large to materialize (wide threshold
+  /// adversaries answer every property query analytically instead).
+  [[nodiscard]] std::span<const Set> maximal_view() const;
 
   /// Calls fn(B) for every maximal element without ever materializing the
   /// list, even for threshold adversaries. `fn` may return void, or bool
@@ -69,16 +79,16 @@ class Adversary {
   /// Byzantine processes in some execution). Sets with members outside the
   /// universe {0..n-1} are never elements, for threshold and general
   /// adversaries alike.
-  [[nodiscard]] bool contains(ProcessSet x) const;
+  [[nodiscard]] bool contains(const Set& x) const;
 
   /// Definition 5: X is *basic* iff X is not in B. Every basic subset
   /// contains at least one benign process in every execution (Lemma 1).
-  [[nodiscard]] bool is_basic(ProcessSet x) const { return !contains(x); }
+  [[nodiscard]] bool is_basic(const Set& x) const { return !contains(x); }
 
   /// Definition 5: X is *large* iff X is not a subset of the union of any
   /// two elements of B. Every large subset contains a basic subset of
   /// benign processes in every execution (Lemma 2).
-  [[nodiscard]] bool is_large(ProcessSet x) const;
+  [[nodiscard]] bool is_large(const Set& x) const;
 
   /// Draws a uniformly random *maximal* element of B — the worst coalition
   /// the adversary can field, which is what safety stress tests want to
@@ -86,7 +96,7 @@ class Adversary {
   /// these). Threshold adversaries sample a k-subset directly, without
   /// materializing the C(n, k) view. Returns the empty set for the
   /// degenerate adversaries none() and { {} }.
-  [[nodiscard]] ProcessSet sample_maximal(Rng& rng) const;
+  [[nodiscard]] Set sample_maximal(Rng& rng) const;
 
   /// Enumerates every element of B (the full downward closure) and calls
   /// fn(B) for each, stopping early if fn returns false. Exponential in the
@@ -102,17 +112,26 @@ class Adversary {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  Adversary(std::size_t n, std::size_t k) : n_(n), threshold_k_(k) {}
+  BasicAdversary(std::size_t n, std::size_t k) : n_(n), threshold_k_(k) {}
 
   std::size_t n_;
   std::optional<std::size_t> threshold_k_;  // engaged => threshold adversary
-  std::vector<ProcessSet> maximal_;         // general adversary only
+  std::vector<Set> maximal_;                // general adversary only
   // Lazily-built maximal_view() cache for threshold adversaries. Mutable
   // because building the view does not change the adversary's value; not
   // synchronized (the library is single-threaded).
-  mutable std::vector<ProcessSet> threshold_view_;
+  mutable std::vector<Set> threshold_view_;
   mutable bool threshold_view_built_{false};
 };
+
+/// The protocol-width adversary (universes up to 64 processes).
+using Adversary = BasicAdversary<ProcessSet>;
+/// The analysis-width adversary (universes up to 256 processes).
+using WideAdversary = BasicAdversary<WideProcessSet>;
+
+// Instantiated once in adversary.cpp for the two supported widths.
+extern template class BasicAdversary<ProcessSet>;
+extern template class BasicAdversary<WideProcessSet>;
 
 }  // namespace rqs
 

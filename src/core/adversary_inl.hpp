@@ -1,4 +1,7 @@
-// Template member implementations for Adversary.
+// Template member implementations for BasicAdversary: the Fn-parameterized
+// enumerators live here (they cannot be covered by the explicit width
+// instantiations in adversary.cpp) together with the width-generic member
+// definitions those instantiations pick up.
 #pragma once
 
 #include <type_traits>
@@ -8,13 +11,14 @@
 
 namespace rqs {
 
+template <class Set>
 template <typename Fn>
-bool Adversary::for_each_maximal_element(Fn&& fn) const {
+bool BasicAdversary<Set>::for_each_maximal_element(Fn&& fn) const {
   if (is_threshold()) {
-    return for_each_subset_of_size(ProcessSet::universe(n_), threshold_k(),
+    return for_each_subset_of_size(Set::universe(n_), threshold_k(),
                                    std::forward<Fn>(fn));
   }
-  for (const ProcessSet m : maximal_) {
+  for (const Set& m : maximal_) {
     if constexpr (std::is_void_v<decltype(fn(m))>) {
       fn(m);
     } else {
@@ -24,16 +28,17 @@ bool Adversary::for_each_maximal_element(Fn&& fn) const {
   return true;
 }
 
+template <class Set>
 template <typename Fn>
-bool Adversary::for_each_element(Fn&& fn) const {
+bool BasicAdversary<Set>::for_each_element(Fn&& fn) const {
   if (is_threshold()) {
-    const ProcessSet everyone = ProcessSet::universe(n_);
+    const Set everyone = Set::universe(n_);
     for (std::size_t k = 0; k <= threshold_k(); ++k) {
       if (!for_each_subset_of_size(everyone, k, fn)) return false;
     }
     return true;
   }
-  for (const ProcessSet m : maximal_) {
+  for (const Set& m : maximal_) {
     if (!for_each_subset(m, fn)) return false;
   }
   return true;

@@ -8,24 +8,38 @@ namespace rqs {
 
 namespace {
 
-/// Iterates all 2^n failure patterns; fn(alive_set, probability).
-template <typename Fn>
+/// Iterates all 2^n failure patterns; fn(alive_set, probability). The
+/// exhaustive walk is hard-capped at n <= 24 at every width (16M patterns);
+/// larger systems must use availability_sampled().
+template <class Set, typename Fn>
 void for_each_failure_pattern(std::size_t n, double p, Fn&& fn) {
-  assert(n <= 24);
-  const std::uint64_t full = ProcessSet::universe(n).mask();
-  for (std::uint64_t mask = 0; mask <= full; ++mask) {
-    const ProcessSet alive = ProcessSet::from_mask(mask);
+  if (n > 24) {
+    detail::process_set_bounds_failure(
+        n, 24, "exhaustive failure-pattern universe (use availability_sampled)");
+  }
+  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+  for (std::uint64_t mask = 0;; ++mask) {
+    Set alive;
+    if constexpr (Set::kWords == 1) {
+      alive = Set::from_mask(mask);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1u) alive.insert(static_cast<ProcessId>(i));
+      }
+    }
     const std::size_t up = alive.size();
     const double prob =
         std::pow(1.0 - p, static_cast<double>(up)) *
         std::pow(p, static_cast<double>(n - up));
     fn(alive, prob);
+    if (mask == full) break;
   }
 }
 
-[[nodiscard]] bool class_available(const RefinedQuorumSystem& rqs,
-                                   ProcessSet alive, QuorumClass cls) {
-  for (const Quorum& q : rqs.quorums()) {
+template <class Set>
+[[nodiscard]] bool class_available(const BasicRefinedQuorumSystem<Set>& rqs,
+                                   Set alive, QuorumClass cls) {
+  for (const BasicQuorum<Set>& q : rqs.quorums()) {
     if (static_cast<int>(q.cls) <= static_cast<int>(cls) &&
         q.set.subset_of(alive)) {
       return true;
@@ -36,19 +50,41 @@ void for_each_failure_pattern(std::size_t n, double p, Fn&& fn) {
 
 }  // namespace
 
-double availability(const RefinedQuorumSystem& rqs, double p, QuorumClass cls) {
+template <class Set>
+double availability(const BasicRefinedQuorumSystem<Set>& rqs, double p,
+                    QuorumClass cls) {
   double total = 0.0;
-  for_each_failure_pattern(rqs.universe_size(), p,
-                           [&](ProcessSet alive, double prob) {
-                             if (class_available(rqs, alive, cls)) total += prob;
-                           });
+  for_each_failure_pattern<Set>(rqs.universe_size(), p,
+                                [&](Set alive, double prob) {
+                                  if (class_available(rqs, alive, cls)) {
+                                    total += prob;
+                                  }
+                                });
   return total;
 }
 
-ExpectedLatency expected_latency(const RefinedQuorumSystem& rqs, double p) {
+template <class Set>
+double availability_sampled(const BasicRefinedQuorumSystem<Set>& rqs, double p,
+                            std::size_t samples, Rng& rng, QuorumClass cls) {
+  assert(samples > 0);
+  const std::size_t n = rqs.universe_size();
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    Set alive;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.chance(p)) alive.insert(static_cast<ProcessId>(i));
+    }
+    if (class_available(rqs, alive, cls)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+template <class Set>
+ExpectedLatency expected_latency(const BasicRefinedQuorumSystem<Set>& rqs,
+                                 double p) {
   double p1 = 0.0, p2 = 0.0, p3 = 0.0, dead = 0.0;
-  for_each_failure_pattern(
-      rqs.universe_size(), p, [&](ProcessSet alive, double prob) {
+  for_each_failure_pattern<Set>(
+      rqs.universe_size(), p, [&](Set alive, double prob) {
         const auto best = rqs.best_available(alive);
         if (!best) {
           dead += prob;
@@ -70,7 +106,9 @@ ExpectedLatency expected_latency(const RefinedQuorumSystem& rqs, double p) {
   return out;
 }
 
-double load_of(const RefinedQuorumSystem& rqs, const Strategy& strategy) {
+template <class Set>
+double load_of(const BasicRefinedQuorumSystem<Set>& rqs,
+               const Strategy& strategy) {
   assert(strategy.size() == rqs.quorum_count());
   double max_load = 0.0;
   for (ProcessId i = 0; i < rqs.universe_size(); ++i) {
@@ -83,7 +121,9 @@ double load_of(const RefinedQuorumSystem& rqs, const Strategy& strategy) {
   return max_load;
 }
 
-Strategy uniform_strategy(const RefinedQuorumSystem& rqs, QuorumClass cls) {
+template <class Set>
+Strategy uniform_strategy(const BasicRefinedQuorumSystem<Set>& rqs,
+                          QuorumClass cls) {
   Strategy w(rqs.quorum_count(), 0.0);
   std::size_t eligible = 0;
   for (QuorumId q = 0; q < rqs.quorum_count(); ++q) {
@@ -98,7 +138,8 @@ Strategy uniform_strategy(const RefinedQuorumSystem& rqs, QuorumClass cls) {
   return w;
 }
 
-Strategy balanced_strategy(const RefinedQuorumSystem& rqs,
+template <class Set>
+Strategy balanced_strategy(const BasicRefinedQuorumSystem<Set>& rqs,
                            std::size_t iterations) {
   const std::size_t m = rqs.quorum_count();
   Strategy w(m, 1.0 / static_cast<double>(m));
@@ -135,9 +176,10 @@ Strategy balanced_strategy(const RefinedQuorumSystem& rqs,
   return best;
 }
 
-double load_lower_bound(const RefinedQuorumSystem& rqs) {
+template <class Set>
+double load_lower_bound(const BasicRefinedQuorumSystem<Set>& rqs) {
   std::size_t min_size = rqs.universe_size();
-  for (const Quorum& q : rqs.quorums()) {
+  for (const BasicQuorum<Set>& q : rqs.quorums()) {
     min_size = std::min(min_size, q.set.size());
   }
   if (min_size == 0) return 0.0;
@@ -145,5 +187,24 @@ double load_lower_bound(const RefinedQuorumSystem& rqs) {
   const double n = static_cast<double>(rqs.universe_size());
   return std::max(1.0 / c, c / n);
 }
+
+#define RQS_ANALYSIS_INSTANTIATE(Set)                                          \
+  template double availability<Set>(const BasicRefinedQuorumSystem<Set>&,      \
+                                    double, QuorumClass);                      \
+  template double availability_sampled<Set>(                                   \
+      const BasicRefinedQuorumSystem<Set>&, double, std::size_t, Rng&,         \
+      QuorumClass);                                                            \
+  template ExpectedLatency expected_latency<Set>(                              \
+      const BasicRefinedQuorumSystem<Set>&, double);                           \
+  template double load_of<Set>(const BasicRefinedQuorumSystem<Set>&,           \
+                               const Strategy&);                               \
+  template Strategy uniform_strategy<Set>(                                     \
+      const BasicRefinedQuorumSystem<Set>&, QuorumClass);                      \
+  template Strategy balanced_strategy<Set>(                                    \
+      const BasicRefinedQuorumSystem<Set>&, std::size_t);                      \
+  template double load_lower_bound<Set>(const BasicRefinedQuorumSystem<Set>&);
+RQS_ANALYSIS_INSTANTIATE(ProcessSet)
+RQS_ANALYSIS_INSTANTIATE(WideProcessSet)
+#undef RQS_ANALYSIS_INSTANTIATE
 
 }  // namespace rqs

@@ -9,15 +9,23 @@
 //    per class, this gives the probability of the 1-round/2-round/3-round
 //    (resp. 2/3/4-delay) best case, and from it the *expected best-case
 //    latency* of the storage and consensus algorithms;
+//  * availability_sampled(p): the Monte-Carlo estimator of the same
+//    quantity for systems too large for the 2^n exhaustive sum — the only
+//    availability path usable at the hierarchical 128/256-process scale;
 //  * load: the access probability of the busiest process under a
 //    probabilistic strategy picking quorums (Naor-Wool). We compute the
 //    exact load of given strategies and a balanced strategy found by
 //    multiplicative-weights descent (an upper bound on the optimal load),
 //    plus the classic lower bound max(1/c(S), m(S)/n).
+//
+// Every function is templated on the set width and instantiated for
+// ProcessSet and WideProcessSet; the Set parameter deduces from the system
+// argument, so call sites are width-agnostic.
 #pragma once
 
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/rqs.hpp"
 
 namespace rqs {
@@ -25,9 +33,21 @@ namespace rqs {
 /// Probability that at least one quorum of class <= cls is fully correct
 /// when each process fails independently with probability p. Exact, by
 /// enumerating failure patterns grouped over the 2^n subsets for
-/// n <= 24 (the systems in this library are small).
-[[nodiscard]] double availability(const RefinedQuorumSystem& rqs, double p,
+/// n <= 24 (hard-checked at any width — use availability_sampled beyond).
+template <class Set>
+[[nodiscard]] double availability(const BasicRefinedQuorumSystem<Set>& rqs,
+                                  double p,
                                   QuorumClass cls = QuorumClass::Class3);
+
+/// Monte-Carlo estimate of availability() from `samples` independent
+/// failure patterns drawn with per-process failure probability p. The
+/// standard error is sqrt(a(1-a)/samples); 10^5 samples give ~3 decimal
+/// digits. Works at any universe size (this is the availability path for
+/// the 128/256-process hierarchical systems).
+template <class Set>
+[[nodiscard]] double availability_sampled(
+    const BasicRefinedQuorumSystem<Set>& rqs, double p, std::size_t samples,
+    Rng& rng, QuorumClass cls = QuorumClass::Class3);
 
 /// Expected best-case rounds of a storage operation at failure probability
 /// p: 1, 2 or 3 depending on the best available class (conditioned on the
@@ -38,8 +58,9 @@ struct ExpectedLatency {
   double consensus_delays{0.0};  ///< E[delays | some quorum alive]
   double unavailable{0.0};       ///< P[no quorum fully correct]
 };
-[[nodiscard]] ExpectedLatency expected_latency(const RefinedQuorumSystem& rqs,
-                                               double p);
+template <class Set>
+[[nodiscard]] ExpectedLatency expected_latency(
+    const BasicRefinedQuorumSystem<Set>& rqs, double p);
 
 /// A probabilistic access strategy: w[i] is the probability of picking
 /// quorum i (must sum to ~1 over the system's quorums).
@@ -47,19 +68,22 @@ using Strategy = std::vector<double>;
 
 /// The load of `strategy`: max over processes of the probability that the
 /// process is accessed, i.e. max_j sum_{Q containing j} w_Q.
-[[nodiscard]] double load_of(const RefinedQuorumSystem& rqs,
+template <class Set>
+[[nodiscard]] double load_of(const BasicRefinedQuorumSystem<Set>& rqs,
                              const Strategy& strategy);
 
 /// Uniform strategy over all quorums (or over a class).
-[[nodiscard]] Strategy uniform_strategy(const RefinedQuorumSystem& rqs,
+template <class Set>
+[[nodiscard]] Strategy uniform_strategy(const BasicRefinedQuorumSystem<Set>& rqs,
                                         QuorumClass cls = QuorumClass::Class3);
 
 /// Searches for a low-load strategy by multiplicative weights (iterations
 /// of down-weighting quorums that touch the currently busiest processes).
 /// Returns the best strategy found; its load_of() value is an upper bound
 /// on the system load L(S).
-[[nodiscard]] Strategy balanced_strategy(const RefinedQuorumSystem& rqs,
-                                         std::size_t iterations = 2000);
+template <class Set>
+[[nodiscard]] Strategy balanced_strategy(
+    const BasicRefinedQuorumSystem<Set>& rqs, std::size_t iterations = 2000);
 
 /// The Naor-Wool lower bound on the load of any strategy:
 /// max(1/c(S), m(S)/n) where c(S) is the minimal quorum cardinality and
@@ -67,6 +91,28 @@ using Strategy = std::vector<double>;
 /// (smallest quorum size)/n, and at least 1/(smallest quorum size)... we
 /// return max(1/n * min|Q|, 1/min|Q|) folded to the classic
 /// max(1/c(S), c(S)/n).
-[[nodiscard]] double load_lower_bound(const RefinedQuorumSystem& rqs);
+template <class Set>
+[[nodiscard]] double load_lower_bound(const BasicRefinedQuorumSystem<Set>& rqs);
+
+// Instantiated once in analysis.cpp for the two supported widths.
+#define RQS_ANALYSIS_EXTERN(Set)                                               \
+  extern template double availability<Set>(                                    \
+      const BasicRefinedQuorumSystem<Set>&, double, QuorumClass);              \
+  extern template double availability_sampled<Set>(                            \
+      const BasicRefinedQuorumSystem<Set>&, double, std::size_t, Rng&,         \
+      QuorumClass);                                                            \
+  extern template ExpectedLatency expected_latency<Set>(                       \
+      const BasicRefinedQuorumSystem<Set>&, double);                           \
+  extern template double load_of<Set>(const BasicRefinedQuorumSystem<Set>&,    \
+                                      const Strategy&);                        \
+  extern template Strategy uniform_strategy<Set>(                              \
+      const BasicRefinedQuorumSystem<Set>&, QuorumClass);                      \
+  extern template Strategy balanced_strategy<Set>(                             \
+      const BasicRefinedQuorumSystem<Set>&, std::size_t);                      \
+  extern template double load_lower_bound<Set>(                                \
+      const BasicRefinedQuorumSystem<Set>&);
+RQS_ANALYSIS_EXTERN(ProcessSet)
+RQS_ANALYSIS_EXTERN(WideProcessSet)
+#undef RQS_ANALYSIS_EXTERN
 
 }  // namespace rqs

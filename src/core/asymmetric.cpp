@@ -6,24 +6,33 @@
 
 namespace rqs {
 
-AsymmetricQuorumSystem make_asymmetric_threshold(std::size_t n, std::size_t k,
-                                                 std::size_t t_r,
-                                                 std::size_t t_w) {
+template <class Set>
+BasicAsymmetricQuorumSystem<Set> make_asymmetric_threshold(std::size_t n,
+                                                           std::size_t k,
+                                                           std::size_t t_r,
+                                                           std::size_t t_w) {
   assert(n <= 20);
   assert(t_r < n && t_w < n);
-  std::vector<ProcessSet> reads;
-  std::vector<ProcessSet> writes;
-  const ProcessSet everyone = ProcessSet::universe(n);
+  std::vector<Set> reads;
+  std::vector<Set> writes;
+  const Set everyone = Set::universe(n);
   for (std::size_t missing = 0; missing <= t_r; ++missing) {
     for_each_subset_of_size(everyone, n - missing,
-                            [&](ProcessSet s) { reads.push_back(s); });
+                            [&](Set s) { reads.push_back(s); });
   }
   for (std::size_t missing = 0; missing <= t_w; ++missing) {
     for_each_subset_of_size(everyone, n - missing,
-                            [&](ProcessSet s) { writes.push_back(s); });
+                            [&](Set s) { writes.push_back(s); });
   }
-  return AsymmetricQuorumSystem{Adversary::threshold(n, k), std::move(reads),
-                                std::move(writes)};
+  return BasicAsymmetricQuorumSystem<Set>{BasicAdversary<Set>::threshold(n, k),
+                                          std::move(reads), std::move(writes)};
 }
+
+template BasicAsymmetricQuorumSystem<ProcessSet>
+make_asymmetric_threshold<ProcessSet>(std::size_t, std::size_t, std::size_t,
+                                      std::size_t);
+template BasicAsymmetricQuorumSystem<WideProcessSet>
+make_asymmetric_threshold<WideProcessSet>(std::size_t, std::size_t, std::size_t,
+                                          std::size_t);
 
 }  // namespace rqs

@@ -10,7 +10,8 @@
 // timestamps are totally ordered); read quorums need not intersect each
 // other at all. This module checks those conditions against an adversary
 // structure and builds the threshold instances, exposing the classic
-// trade-off n > t_r + t_w + k.
+// trade-off n > t_r + t_w + k. Width-templated like the rest of the core
+// layer; the class is header-only, so any BasicProcessSet width works.
 #pragma once
 
 #include <vector>
@@ -19,28 +20,31 @@
 
 namespace rqs {
 
-class AsymmetricQuorumSystem {
+template <class Set>
+class BasicAsymmetricQuorumSystem {
  public:
-  AsymmetricQuorumSystem(Adversary adversary,
-                         std::vector<ProcessSet> read_quorums,
-                         std::vector<ProcessSet> write_quorums)
+  BasicAsymmetricQuorumSystem(BasicAdversary<Set> adversary,
+                              std::vector<Set> read_quorums,
+                              std::vector<Set> write_quorums)
       : adversary_(std::move(adversary)),
         reads_(std::move(read_quorums)),
         writes_(std::move(write_quorums)) {}
 
-  [[nodiscard]] const Adversary& adversary() const noexcept { return adversary_; }
-  [[nodiscard]] const std::vector<ProcessSet>& read_quorums() const noexcept {
+  [[nodiscard]] const BasicAdversary<Set>& adversary() const noexcept {
+    return adversary_;
+  }
+  [[nodiscard]] const std::vector<Set>& read_quorums() const noexcept {
     return reads_;
   }
-  [[nodiscard]] const std::vector<ProcessSet>& write_quorums() const noexcept {
+  [[nodiscard]] const std::vector<Set>& write_quorums() const noexcept {
     return writes_;
   }
 
   /// Read-write consistency: every read quorum intersects every write
   /// quorum in a set outside B.
   [[nodiscard]] bool read_write_consistency() const {
-    for (const ProcessSet r : reads_) {
-      for (const ProcessSet w : writes_) {
+    for (const Set r : reads_) {
+      for (const Set w : writes_) {
         if (!adversary_.is_basic(r & w)) return false;
       }
     }
@@ -64,17 +68,29 @@ class AsymmetricQuorumSystem {
   }
 
  private:
-  Adversary adversary_;
-  std::vector<ProcessSet> reads_;
-  std::vector<ProcessSet> writes_;
+  BasicAdversary<Set> adversary_;
+  std::vector<Set> reads_;
+  std::vector<Set> writes_;
 };
+
+/// The protocol-width system (the historical name).
+using AsymmetricQuorumSystem = BasicAsymmetricQuorumSystem<ProcessSet>;
+/// The analysis-width system (universes up to 256 processes).
+using WideAsymmetricQuorumSystem = BasicAsymmetricQuorumSystem<WideProcessSet>;
 
 /// The threshold instance: read quorums miss at most t_r processes, write
 /// quorums at most t_w, adversary B_k. Valid iff n > t_r + t_w + k (and
 /// n > 2 t_w + k for write ordering).
-[[nodiscard]] AsymmetricQuorumSystem make_asymmetric_threshold(std::size_t n,
-                                                               std::size_t k,
-                                                               std::size_t t_r,
-                                                               std::size_t t_w);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicAsymmetricQuorumSystem<Set> make_asymmetric_threshold(
+    std::size_t n, std::size_t k, std::size_t t_r, std::size_t t_w);
+
+// Instantiated once in asymmetric.cpp for the two supported widths.
+extern template BasicAsymmetricQuorumSystem<ProcessSet>
+make_asymmetric_threshold<ProcessSet>(std::size_t, std::size_t, std::size_t,
+                                      std::size_t);
+extern template BasicAsymmetricQuorumSystem<WideProcessSet>
+make_asymmetric_threshold<WideProcessSet>(std::size_t, std::size_t, std::size_t,
+                                          std::size_t);
 
 }  // namespace rqs

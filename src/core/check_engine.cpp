@@ -5,25 +5,27 @@
 
 namespace rqs {
 
-void CheckEngine::init_adversary_state() {
+template <class Set>
+void BasicCheckEngine<Set>::init_adversary_state() {
   threshold_ = adversary_->is_threshold();
   if (threshold_) {
     k_ = adversary_->threshold_k();
   } else {
     maximal_ = adversary_->maximal_view();
-    for (const ProcessSet m : maximal_) {
+    for (const Set m : maximal_) {
       max_elem_size_ = std::max(max_elem_size_, m.size());
     }
   }
-  qc1_inter_ = ProcessSet::universe(adversary_->universe_size());
+  qc1_inter_ = Set::universe(adversary_->universe_size());
 }
 
-CheckEngine::CheckEngine(const RefinedQuorumSystem& sys)
+template <class Set>
+BasicCheckEngine<Set>::BasicCheckEngine(const BasicRefinedQuorumSystem<Set>& sys)
     : adversary_(&sys.adversary()),
       qc1_ids_(sys.class1_ids()),
       qc2_ids_(sys.class2_ids()) {
   sets_.reserve(sys.quorum_count());
-  for (const Quorum& q : sys.quorums()) sets_.push_back(q.set);
+  for (const BasicQuorum<Set>& q : sys.quorums()) sets_.push_back(q.set);
   init_adversary_state();
   qc1_sets_.reserve(qc1_ids_.size());
   for (const QuorumId id : qc1_ids_) {
@@ -32,31 +34,34 @@ CheckEngine::CheckEngine(const RefinedQuorumSystem& sys)
   }
 }
 
-CheckEngine::CheckEngine(const Adversary& adversary,
-                         std::vector<ProcessSet> sets)
+template <class Set>
+BasicCheckEngine<Set>::BasicCheckEngine(const BasicAdversary<Set>& adversary,
+                                        std::vector<Set> sets)
     : adversary_(&adversary), sets_(std::move(sets)) {
   assert(sets_.size() <= 20 && "mask-parameterized engine is for <= 20 sets");
-  [[maybe_unused]] const ProcessSet everyone =
-      ProcessSet::universe(adversary_->universe_size());
-  for ([[maybe_unused]] const ProcessSet s : sets_) {
+  [[maybe_unused]] const Set everyone =
+      Set::universe(adversary_->universe_size());
+  for ([[maybe_unused]] const Set s : sets_) {
     assert(s.subset_of(everyone));
   }
   init_adversary_state();
 }
 
-bool CheckEngine::is_basic(ProcessSet x) const {
+template <class Set>
+bool BasicCheckEngine<Set>::is_basic(Set x) const {
   // Engine queries are intersections of quorum sets, all inside the
   // universe, so the threshold form reduces to a popcount comparison.
   if (threshold_) return x.size() > k_;
   if (x.size() > max_elem_size_) return true;
-  for (const ProcessSet m : maximal_) {
+  for (const Set m : maximal_) {
     if (x.subset_of(m)) return false;
   }
   return true;
 }
 
-void CheckEngine::build_unions() const {
-  std::vector<ProcessSet> all;
+template <class Set>
+void BasicCheckEngine<Set>::build_unions() const {
+  std::vector<Set> all;
   all.reserve(maximal_.size() * (maximal_.size() + 1) / 2);
   for (std::size_t i = 0; i < maximal_.size(); ++i) {
     for (std::size_t j = i; j < maximal_.size(); ++j) {
@@ -64,13 +69,14 @@ void CheckEngine::build_unions() const {
     }
   }
   unions_ = keep_maximal_sets(std::move(all));
-  for (const ProcessSet u : unions_) {
+  for (const Set u : unions_) {
     max_union_size_ = std::max(max_union_size_, u.size());
   }
   unions_built_ = true;
 }
 
-void CheckEngine::ensure_pair_table() const {
+template <class Set>
+void BasicCheckEngine<Set>::ensure_pair_table() const {
   if (!pair_inter_.empty()) return;
   const std::size_t m = sets_.size();
   pair_inter_.resize(m * m);
@@ -81,59 +87,65 @@ void CheckEngine::ensure_pair_table() const {
   }
 }
 
-bool CheckEngine::is_large(ProcessSet x) const {
+template <class Set>
+bool BasicCheckEngine<Set>::is_large(Set x) const {
   if (threshold_) return x.size() >= 2 * k_ + 1;
   if (!unions_built_) build_unions();
   if (x.size() > max_union_size_) return true;
-  for (const ProcessSet u : unions_) {
+  for (const Set u : unions_) {
     if (x.subset_of(u)) return false;
   }
   return true;
 }
 
-bool CheckEngine::p3a(ProcessSet inter, ProcessSet b) const {
+template <class Set>
+bool BasicCheckEngine<Set>::p3a(Set inter, Set b) const {
   return is_basic(inter - b);
 }
 
-bool CheckEngine::p3b(ProcessSet inter, ProcessSet b,
-                      std::span<const ProcessSet> qc1_sets,
-                      ProcessSet qc1_inter) const {
+template <class Set>
+bool BasicCheckEngine<Set>::p3b(Set inter, Set b, std::span<const Set> qc1_sets,
+                                Set qc1_inter) const {
   if (qc1_sets.empty()) return false;
   // Sufficient fast path: if even the intersection of ALL class 1 quorums
   // meets inter \ B, then certainly every individual class 1 quorum does.
   if (!((qc1_inter & inter) - b).empty()) return true;
-  for (const ProcessSet q1 : qc1_sets) {
+  for (const Set q1 : qc1_sets) {
     if (((q1 & inter) - b).empty()) return false;
   }
   return true;
 }
 
-bool CheckEngine::p3_pair_holds(ProcessSet inter,
-                                std::span<const ProcessSet> qc1_sets,
-                                ProcessSet qc1_inter) const {
-  for (const ProcessSet b : maximal_) {
+template <class Set>
+bool BasicCheckEngine<Set>::p3_pair_holds(Set inter,
+                                          std::span<const Set> qc1_sets,
+                                          Set qc1_inter) const {
+  for (const Set b : maximal_) {
     if (!p3a(inter, b) && !p3b(inter, b, qc1_sets, qc1_inter)) return false;
   }
   return true;
 }
 
-bool CheckEngine::p3_pair_holds_threshold(
-    ProcessSet inter, std::span<const ProcessSet> qc1_sets) const {
+template <class Set>
+bool BasicCheckEngine<Set>::p3_pair_holds_threshold(
+    Set inter, std::span<const Set> qc1_sets) const {
   if (inter.size() >= 2 * k_ + 1) return true;
   if (qc1_sets.empty()) return false;
-  return std::all_of(qc1_sets.begin(), qc1_sets.end(), [&](ProcessSet q1) {
+  return std::all_of(qc1_sets.begin(), qc1_sets.end(), [&](Set q1) {
     return (q1 & inter).size() >= k_ + 1;
   });
 }
 
-bool CheckEngine::check_property1(CheckResult& out, std::size_t max) const {
+template <class Set>
+bool BasicCheckEngine<Set>::check_property1(BasicCheckResult<Set>& out,
+                                            std::size_t max) const {
   bool ok = true;
   for (QuorumId a = 0; a < sets_.size(); ++a) {
     for (QuorumId b = a; b < sets_.size(); ++b) {
-      const ProcessSet inter = sets_[a] & sets_[b];
+      const Set inter = sets_[a] & sets_[b];
       if (!is_basic(inter)) {
         ok = false;
-        out.violations.push_back(PropertyViolation{
+        out.violations.push_back(BasicPropertyViolation<Set>{
             .property = 1,
             .q_a = a,
             .q_b = b,
@@ -149,16 +161,18 @@ bool CheckEngine::check_property1(CheckResult& out, std::size_t max) const {
   return ok;
 }
 
-bool CheckEngine::check_property2(CheckResult& out, std::size_t max) const {
+template <class Set>
+bool BasicCheckEngine<Set>::check_property2(BasicCheckResult<Set>& out,
+                                            std::size_t max) const {
   bool ok = true;
   for (std::size_t i = 0; i < qc1_ids_.size(); ++i) {
     for (std::size_t j = i; j < qc1_ids_.size(); ++j) {
-      const ProcessSet q1q1 = qc1_sets_[i] & qc1_sets_[j];
+      const Set q1q1 = qc1_sets_[i] & qc1_sets_[j];
       for (QuorumId c = 0; c < sets_.size(); ++c) {
-        const ProcessSet inter = q1q1 & sets_[c];
+        const Set inter = q1q1 & sets_[c];
         if (!is_large(inter)) {
           ok = false;
-          out.violations.push_back(PropertyViolation{
+          out.violations.push_back(BasicPropertyViolation<Set>{
               .property = 2,
               .q_a = qc1_ids_[i],
               .q_b = qc1_ids_[j],
@@ -177,22 +191,24 @@ bool CheckEngine::check_property2(CheckResult& out, std::size_t max) const {
   return ok;
 }
 
-bool CheckEngine::check_property3(CheckResult& out, std::size_t max) const {
+template <class Set>
+bool BasicCheckEngine<Set>::check_property3(BasicCheckResult<Set>& out,
+                                            std::size_t max) const {
   bool ok = true;
   // Intersections proven to satisfy P3. Both disjuncts depend on (Q2, Q)
   // only through I = Q2 n Q and are monotone in I, so any pair whose
   // intersection contains a proven one is skipped — pruning never skips a
   // violating pair, keeping the violation list identical to the naive
   // checker's.
-  std::vector<ProcessSet> held;
+  std::vector<Set> held;
   for (const QuorumId q2id : qc2_ids_) {
-    const ProcessSet q2 = sets_[q2id];
+    const Set q2 = sets_[q2id];
     for (QuorumId qid = 0; qid < sets_.size(); ++qid) {
-      const ProcessSet inter = q2 & sets_[qid];
+      const Set inter = q2 & sets_[qid];
       if (threshold_) {
         if (!p3_pair_holds_threshold(inter, qc1_sets_)) {
           ok = false;
-          out.violations.push_back(PropertyViolation{
+          out.violations.push_back(BasicPropertyViolation<Set>{
               .property = 3,
               .q_a = q2id,
               .q_b = qid,
@@ -208,16 +224,16 @@ bool CheckEngine::check_property3(CheckResult& out, std::size_t max) const {
         }
         continue;
       }
-      const bool pruned = std::any_of(
-          held.begin(), held.end(),
-          [inter](ProcessSet h) { return h.subset_of(inter); });
+      const bool pruned =
+          std::any_of(held.begin(), held.end(),
+                      [inter](Set h) { return h.subset_of(inter); });
       if (pruned) continue;
       bool pair_ok = true;
-      for (const ProcessSet b : maximal_) {
+      for (const Set b : maximal_) {
         if (p3a(inter, b) || p3b(inter, b, qc1_sets_, qc1_inter_)) continue;
         pair_ok = false;
         ok = false;
-        out.violations.push_back(PropertyViolation{
+        out.violations.push_back(BasicPropertyViolation<Set>{
             .property = 3,
             .q_a = q2id,
             .q_b = qid,
@@ -235,12 +251,13 @@ bool CheckEngine::check_property3(CheckResult& out, std::size_t max) const {
   return ok;
 }
 
-bool CheckEngine::check_property3_conference() const {
-  std::vector<ProcessSet> held;
+template <class Set>
+bool BasicCheckEngine<Set>::check_property3_conference() const {
+  std::vector<Set> held;
   for (const QuorumId q2id : qc2_ids_) {
-    const ProcessSet q2 = sets_[q2id];
+    const Set q2 = sets_[q2id];
     for (QuorumId qid = 0; qid < sets_.size(); ++qid) {
-      const ProcessSet inter = q2 & sets_[qid];
+      const Set inter = q2 & sets_[qid];
       if (threshold_) {
         // Under the symmetric threshold adversary the conference and
         // corrected statements coincide: for-all-B P3a is |I| >= 2k+1 (the
@@ -249,13 +266,13 @@ bool CheckEngine::check_property3_conference() const {
         if (!p3_pair_holds_threshold(inter, qc1_sets_)) return false;
         continue;
       }
-      const bool pruned = std::any_of(
-          held.begin(), held.end(),
-          [inter](ProcessSet h) { return h.subset_of(inter); });
+      const bool pruned =
+          std::any_of(held.begin(), held.end(),
+                      [inter](Set h) { return h.subset_of(inter); });
       if (pruned) continue;
       bool all_a = true;
       bool all_b = true;
-      for (const ProcessSet b : maximal_) {
+      for (const Set b : maximal_) {
         all_a = all_a && p3a(inter, b);
         all_b = all_b && p3b(inter, b, qc1_sets_, qc1_inter_);
         if (!all_a && !all_b) return false;
@@ -266,8 +283,10 @@ bool CheckEngine::check_property3_conference() const {
   return true;
 }
 
-CheckResult CheckEngine::check(std::size_t max_violations) const {
-  CheckResult out;
+template <class Set>
+BasicCheckResult<Set> BasicCheckEngine<Set>::check(
+    std::size_t max_violations) const {
+  BasicCheckResult<Set> out;
   if (!check_property1(out, max_violations) &&
       max_violations != 0 && out.violations.size() >= max_violations) {
     return out;
@@ -280,15 +299,17 @@ CheckResult CheckEngine::check(std::size_t max_violations) const {
   return out;
 }
 
-std::vector<ProcessSet> CheckEngine::gather(std::uint32_t mask) const {
-  std::vector<ProcessSet> out;
+template <class Set>
+std::vector<Set> BasicCheckEngine<Set>::gather(std::uint32_t mask) const {
+  std::vector<Set> out;
   for (std::size_t j = 0; j < sets_.size(); ++j) {
     if ((mask >> j) & 1u) out.push_back(sets_[j]);
   }
   return out;
 }
 
-bool CheckEngine::property1_holds() const {
+template <class Set>
+bool BasicCheckEngine<Set>::property1_holds() const {
   if (!p1_memo_) {
     bool ok = true;
     for (std::size_t a = 0; a < sets_.size() && ok; ++a) {
@@ -301,15 +322,16 @@ bool CheckEngine::property1_holds() const {
   return *p1_memo_;
 }
 
-bool CheckEngine::property2_holds(std::uint32_t qc1_mask) const {
+template <class Set>
+bool BasicCheckEngine<Set>::property2_holds(std::uint32_t qc1_mask) const {
   if (p2_memo_.empty()) p2_memo_.assign(std::size_t{1} << sets_.size(), 0);
   std::uint8_t& memo = p2_memo_[qc1_mask];
   if (memo != 0) return memo == 1;
-  const std::vector<ProcessSet> qc1_sets = gather(qc1_mask);
+  const std::vector<Set> qc1_sets = gather(qc1_mask);
   bool ok = true;
   for (std::size_t i = 0; i < qc1_sets.size() && ok; ++i) {
     for (std::size_t j = i; j < qc1_sets.size() && ok; ++j) {
-      const ProcessSet q1q1 = qc1_sets[i] & qc1_sets[j];
+      const Set q1q1 = qc1_sets[i] & qc1_sets[j];
       for (std::size_t c = 0; c < sets_.size() && ok; ++c) {
         ok = is_large(q1q1 & sets_[c]);
       }
@@ -319,7 +341,8 @@ bool CheckEngine::property2_holds(std::uint32_t qc1_mask) const {
   return ok;
 }
 
-std::uint32_t CheckEngine::property3_rows(std::uint32_t qc1_mask) const {
+template <class Set>
+std::uint32_t BasicCheckEngine<Set>::property3_rows(std::uint32_t qc1_mask) const {
   const std::size_t slots = std::size_t{1} << sets_.size();
   if (rows_known_.empty()) {
     rows_known_.assign(slots, 0);
@@ -329,24 +352,24 @@ std::uint32_t CheckEngine::property3_rows(std::uint32_t qc1_mask) const {
   // Enumeration evaluates rows for many class masks over the same quorum
   // list; the intersection table amortizes the m^2 masks across them.
   ensure_pair_table();
-  const std::vector<ProcessSet> qc1_sets = gather(qc1_mask);
-  ProcessSet qc1_inter = ProcessSet::universe(adversary_->universe_size());
-  for (const ProcessSet s : qc1_sets) qc1_inter &= s;
+  const std::vector<Set> qc1_sets = gather(qc1_mask);
+  Set qc1_inter = Set::universe(adversary_->universe_size());
+  for (const Set s : qc1_sets) qc1_inter &= s;
   std::uint32_t rows = 0;
   // The held set is shared across rows: P3 for a pair depends only on the
   // intersection, not on which quorum plays Q2.
-  std::vector<ProcessSet> held;
+  std::vector<Set> held;
   for (std::size_t j = 0; j < sets_.size(); ++j) {
     bool row_ok = true;
     for (std::size_t q = 0; q < sets_.size() && row_ok; ++q) {
-      const ProcessSet inter = inter_at(j, q);
+      const Set inter = inter_at(j, q);
       if (threshold_) {
         row_ok = p3_pair_holds_threshold(inter, qc1_sets);
         continue;
       }
-      const bool pruned = std::any_of(
-          held.begin(), held.end(),
-          [inter](ProcessSet h) { return h.subset_of(inter); });
+      const bool pruned =
+          std::any_of(held.begin(), held.end(),
+                      [inter](Set h) { return h.subset_of(inter); });
       if (pruned) continue;
       if (p3_pair_holds(inter, qc1_sets, qc1_inter)) {
         held.push_back(inter);
@@ -360,5 +383,8 @@ std::uint32_t CheckEngine::property3_rows(std::uint32_t qc1_mask) const {
   rows_memo_[qc1_mask] = rows;
   return rows;
 }
+
+template class BasicCheckEngine<ProcessSet>;
+template class BasicCheckEngine<WideProcessSet>;
 
 }  // namespace rqs

@@ -34,7 +34,11 @@
 //     class assignments, instead of re-assembling a system per candidate.
 //
 // The engine borrows the adversary (and, in fixed mode, the system's class
-// id vectors); it must not outlive them.
+// id vectors); it must not outlive them. Like the rest of the core layer it
+// is width-templated: CheckEngine is the 64-process protocol form,
+// WideCheckEngine checks systems over universes up to 256 processes. The
+// threshold analytic paths make the wide engine exactly as fast per query
+// as the narrow one, up to the wider word loop.
 #pragma once
 
 #include <cstdint>
@@ -46,27 +50,28 @@
 
 namespace rqs {
 
-class CheckEngine {
+template <class Set>
+class BasicCheckEngine {
  public:
   /// Fixed-class engine over an existing system. Borrows `sys` (no copy of
   /// the adversary); `sys` must outlive the engine.
-  explicit CheckEngine(const RefinedQuorumSystem& sys);
+  explicit BasicCheckEngine(const BasicRefinedQuorumSystem<Set>& sys);
 
   /// Mask-parameterized engine over bare quorum sets for the class-
   /// assignment enumerators. At most 20 sets (mask width); every set must
   /// live inside the adversary's universe.
-  CheckEngine(const Adversary& adversary, std::vector<ProcessSet> sets);
+  BasicCheckEngine(const BasicAdversary<Set>& adversary, std::vector<Set> sets);
 
   // --- Fixed-class interface (verdict-identical to the naive checkers). ---
 
   /// Mirrors RefinedQuorumSystem::check(): P1 then P2 then P3, stopping
   /// after `max_violations` findings (0 = collect everything).
-  [[nodiscard]] CheckResult check(std::size_t max_violations = 1) const;
+  [[nodiscard]] BasicCheckResult<Set> check(std::size_t max_violations = 1) const;
   [[nodiscard]] bool valid() const { return check(1).ok(); }
 
-  bool check_property1(CheckResult& out, std::size_t max) const;
-  bool check_property2(CheckResult& out, std::size_t max) const;
-  bool check_property3(CheckResult& out, std::size_t max) const;
+  bool check_property1(BasicCheckResult<Set>& out, std::size_t max) const;
+  bool check_property2(BasicCheckResult<Set>& out, std::size_t max) const;
+  bool check_property3(BasicCheckResult<Set>& out, std::size_t max) const;
 
   /// The erroneous conference-version Property 3 (see rqs.hpp).
   [[nodiscard]] bool check_property3_conference() const;
@@ -90,60 +95,58 @@ class CheckEngine {
 
  private:
   // Definition 5 queries against the precomputed adversary state.
-  [[nodiscard]] bool is_basic(ProcessSet x) const;
-  [[nodiscard]] bool is_large(ProcessSet x) const;
+  [[nodiscard]] bool is_basic(Set x) const;
+  [[nodiscard]] bool is_large(Set x) const;
 
   // P3 disjuncts on the intersection I = Q2 n Q; `qc1_sets`/`qc1_inter`
   // describe the class 1 quorums in effect for this query.
-  [[nodiscard]] bool p3a(ProcessSet inter, ProcessSet b) const;
-  [[nodiscard]] bool p3b(ProcessSet inter, ProcessSet b,
-                         std::span<const ProcessSet> qc1_sets,
-                         ProcessSet qc1_inter) const;
+  [[nodiscard]] bool p3a(Set inter, Set b) const;
+  [[nodiscard]] bool p3b(Set inter, Set b, std::span<const Set> qc1_sets,
+                         Set qc1_inter) const;
 
   // Full per-pair P3 (general adversary): for all B in the maximal view,
   // P3a or P3b.
-  [[nodiscard]] bool p3_pair_holds(ProcessSet inter,
-                                   std::span<const ProcessSet> qc1_sets,
-                                   ProcessSet qc1_inter) const;
+  [[nodiscard]] bool p3_pair_holds(Set inter, std::span<const Set> qc1_sets,
+                                   Set qc1_inter) const;
 
   // Analytic per-pair P3 for threshold adversaries (Section 2.1 form).
   [[nodiscard]] bool p3_pair_holds_threshold(
-      ProcessSet inter, std::span<const ProcessSet> qc1_sets) const;
+      Set inter, std::span<const Set> qc1_sets) const;
 
   void init_adversary_state();    // shared ctor tail: threshold/maximal info
   void build_unions() const;      // lazy: maximal pairwise unions of B
   void ensure_pair_table() const; // lazy: pairwise intersection masks
   // Valid only after ensure_pair_table() (callers: property3_rows).
-  [[nodiscard]] ProcessSet inter_at(std::size_t a, std::size_t b) const {
+  [[nodiscard]] Set inter_at(std::size_t a, std::size_t b) const {
     return pair_inter_[a * sets_.size() + b];
   }
-  [[nodiscard]] std::vector<ProcessSet> gather(std::uint32_t mask) const;
+  [[nodiscard]] std::vector<Set> gather(std::uint32_t mask) const;
 
-  const Adversary* adversary_;
-  std::vector<ProcessSet> sets_;
+  const BasicAdversary<Set>* adversary_;
+  std::vector<Set> sets_;
 
   // Fixed-class mode state (empty spans in mask mode).
   std::span<const QuorumId> qc1_ids_;
   std::span<const QuorumId> qc2_ids_;
-  std::vector<ProcessSet> qc1_sets_;  // class 1 process sets, qc1_ids_ order
-  ProcessSet qc1_inter_;              // intersection of all class 1 quorums
+  std::vector<Set> qc1_sets_;  // class 1 process sets, qc1_ids_ order
+  Set qc1_inter_;              // intersection of all class 1 quorums
 
   // Adversary-derived state. For threshold adversaries every query is
   // analytic and maximal_ stays untouched (never materialized).
   bool threshold_{false};
   std::size_t k_{0};
-  std::span<const ProcessSet> maximal_;
+  std::span<const Set> maximal_;
   std::size_t max_elem_size_{0};
 
   // Pairwise quorum-intersection masks, row-major m*m, lazily built on the
   // first property3_rows() query (enumeration re-evaluates rows for many
   // class masks over the same quorum list; the table amortizes the masks
   // across them; m <= 20 there, so it stays small).
-  mutable std::vector<ProcessSet> pair_inter_;
+  mutable std::vector<Set> pair_inter_;
 
   // Lazily-built maximal pairwise unions of B (general adversaries), the
   // exact witness set for is_large.
-  mutable std::vector<ProcessSet> unions_;
+  mutable std::vector<Set> unions_;
   mutable bool unions_built_{false};
   mutable std::size_t max_union_size_{0};
 
@@ -153,5 +156,14 @@ class CheckEngine {
   mutable std::vector<std::uint8_t> rows_known_;
   mutable std::vector<std::uint32_t> rows_memo_;
 };
+
+/// The protocol-width engine (the historical name).
+using CheckEngine = BasicCheckEngine<ProcessSet>;
+/// The analysis-width engine (universes up to 256 processes).
+using WideCheckEngine = BasicCheckEngine<WideProcessSet>;
+
+// Instantiated once in check_engine.cpp for the two supported widths.
+extern template class BasicCheckEngine<ProcessSet>;
+extern template class BasicCheckEngine<WideProcessSet>;
 
 }  // namespace rqs

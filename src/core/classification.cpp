@@ -3,18 +3,20 @@
 #include <bit>
 #include <cassert>
 
+#include "common/combinatorics.hpp"
 #include "core/check_engine.hpp"
 
 namespace rqs {
 
-ClassificationResult classify(const std::vector<ProcessSet>& quorums,
-                              const Adversary& adversary) {
+template <class Set>
+ClassificationResult classify(const std::vector<Set>& quorums,
+                              const BasicAdversary<Set>& adversary) {
   assert(quorums.size() <= 20);
   const std::size_t m = quorums.size();
   ClassificationResult best;
   best.classes.assign(m, QuorumClass::Class3);
 
-  const CheckEngine engine{adversary, quorums};
+  const BasicCheckEngine<Set> engine{adversary, quorums};
 
   // Property 1 does not depend on classes; reject early if it fails.
   if (!engine.property1_holds()) return best;
@@ -52,11 +54,12 @@ ClassificationResult classify(const std::vector<ProcessSet>& quorums,
   return best;
 }
 
-std::uint64_t count_classifications(const std::vector<ProcessSet>& quorums,
-                                    const Adversary& adversary) {
+template <class Set>
+std::uint64_t count_classifications(const std::vector<Set>& quorums,
+                                    const BasicAdversary<Set>& adversary) {
   assert(quorums.size() <= 20);
   const std::size_t m = quorums.size();
-  const CheckEngine engine{adversary, quorums};
+  const BasicCheckEngine<Set> engine{adversary, quorums};
   if (!engine.property1_holds()) return 0;
   std::uint64_t count = 0;
   const std::uint32_t limit = (std::uint32_t{1} << m) - 1u;
@@ -78,28 +81,28 @@ std::uint64_t count_classifications(const std::vector<ProcessSet>& quorums,
   return count;
 }
 
-std::uint64_t count_p1_collections(std::size_t n, const Adversary& adversary,
+template <class Set>
+std::uint64_t count_p1_collections(std::size_t n,
+                                   const BasicAdversary<Set>& adversary,
                                    std::size_t max_quorums) {
   assert(n <= 6 && "exhaustive collection search is for tiny universes");
   // Candidate quorums: non-empty subsets X with X not in B (Property 1
   // applied to Q n Q = Q) — others can never join any collection.
-  std::vector<ProcessSet> candidates;
-  const std::uint64_t full = ProcessSet::universe(n).mask();
-  for (std::uint64_t mask = 1; mask <= full; ++mask) {
-    const ProcessSet s = ProcessSet::from_mask(mask);
-    if (adversary.is_basic(s)) candidates.push_back(s);
-  }
+  std::vector<Set> candidates;
+  for_each_subset(Set::universe(n), [&](const Set& s) {
+    if (!s.empty() && adversary.is_basic(s)) candidates.push_back(s);
+  });
   // DFS over candidates in index order; a set may join if it P1-intersects
   // every chosen set.
   std::uint64_t count = 0;
-  std::vector<ProcessSet> chosen;
+  std::vector<Set> chosen;
   auto dfs = [&](auto&& self, std::size_t start) -> void {
     if (!chosen.empty()) ++count;
     if (chosen.size() == max_quorums) return;
     for (std::size_t i = start; i < candidates.size(); ++i) {
-      const ProcessSet c = candidates[i];
+      const Set c = candidates[i];
       bool ok = true;
-      for (const ProcessSet q : chosen) {
+      for (const Set q : chosen) {
         if (!adversary.is_basic(q & c)) {
           ok = false;
           break;
@@ -114,5 +117,18 @@ std::uint64_t count_p1_collections(std::size_t n, const Adversary& adversary,
   dfs(dfs, 0);
   return count;
 }
+
+template ClassificationResult classify<ProcessSet>(
+    const std::vector<ProcessSet>&, const BasicAdversary<ProcessSet>&);
+template ClassificationResult classify<WideProcessSet>(
+    const std::vector<WideProcessSet>&, const BasicAdversary<WideProcessSet>&);
+template std::uint64_t count_classifications<ProcessSet>(
+    const std::vector<ProcessSet>&, const BasicAdversary<ProcessSet>&);
+template std::uint64_t count_classifications<WideProcessSet>(
+    const std::vector<WideProcessSet>&, const BasicAdversary<WideProcessSet>&);
+template std::uint64_t count_p1_collections<ProcessSet>(
+    std::size_t, const BasicAdversary<ProcessSet>&, std::size_t);
+template std::uint64_t count_p1_collections<WideProcessSet>(
+    std::size_t, const BasicAdversary<WideProcessSet>&, std::size_t);
 
 }  // namespace rqs

@@ -5,7 +5,10 @@
 // quorums and an adversary, these utilities find class assignments
 // (QC1 subset of QC2) under which the three RQS properties hold, and count
 // them — tooling for the Section 6 open question "how many RQS can be
-// found given some adversary structure".
+// found given some adversary structure". Width-generic: the Set parameter
+// is deduced from the arguments, so callers pass ProcessSet quorums for
+// n <= 64 and WideProcessSet quorums beyond (classification cost depends
+// on the quorum count, not the universe width).
 #pragma once
 
 #include <cstdint>
@@ -31,22 +34,39 @@ struct ClassificationResult {
 /// queries rather than assembling a RefinedQuorumSystem per candidate.
 /// Returns property1_ok = false (and class-3 everywhere) when the list
 /// does not even satisfy Property 1.
-[[nodiscard]] ClassificationResult classify(const std::vector<ProcessSet>& quorums,
-                                            const Adversary& adversary);
+template <class Set>
+[[nodiscard]] ClassificationResult classify(const std::vector<Set>& quorums,
+                                            const BasicAdversary<Set>& adversary);
 
 /// Counts all valid (QC1, QC2) assignments (including the trivial empty
 /// one) for the given quorums, i.e. the number of distinct refined quorum
 /// systems sharing this quorum list. Exhaustive; at most 20 quorums.
+template <class Set>
 [[nodiscard]] std::uint64_t count_classifications(
-    const std::vector<ProcessSet>& quorums, const Adversary& adversary);
+    const std::vector<Set>& quorums, const BasicAdversary<Set>& adversary);
 
 /// Counts collections of at most `max_quorums` distinct non-empty subsets
 /// of {0..n-1} that satisfy Property 1 pairwise under `adversary` —
 /// an exhaustive answer to "how many (plain) quorum systems exist" for
 /// tiny universes (n <= 6 recommended). Collections are unordered;
 /// the empty collection is not counted.
-[[nodiscard]] std::uint64_t count_p1_collections(std::size_t n,
-                                                 const Adversary& adversary,
-                                                 std::size_t max_quorums);
+template <class Set>
+[[nodiscard]] std::uint64_t count_p1_collections(
+    std::size_t n, const BasicAdversary<Set>& adversary,
+    std::size_t max_quorums);
+
+// Instantiated once in classification.cpp for the two supported widths.
+extern template ClassificationResult classify<ProcessSet>(
+    const std::vector<ProcessSet>&, const BasicAdversary<ProcessSet>&);
+extern template ClassificationResult classify<WideProcessSet>(
+    const std::vector<WideProcessSet>&, const BasicAdversary<WideProcessSet>&);
+extern template std::uint64_t count_classifications<ProcessSet>(
+    const std::vector<ProcessSet>&, const BasicAdversary<ProcessSet>&);
+extern template std::uint64_t count_classifications<WideProcessSet>(
+    const std::vector<WideProcessSet>&, const BasicAdversary<WideProcessSet>&);
+extern template std::uint64_t count_p1_collections<ProcessSet>(
+    std::size_t, const BasicAdversary<ProcessSet>&, std::size_t);
+extern template std::uint64_t count_p1_collections<WideProcessSet>(
+    std::size_t, const BasicAdversary<WideProcessSet>&, std::size_t);
 
 }  // namespace rqs

@@ -6,10 +6,11 @@
 
 namespace rqs {
 
-RefinedQuorumSystem make_threshold_rqs(const ThresholdParams& p) {
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_threshold_rqs(const ThresholdParams& p) {
   assert(p.n <= 24 && "explicit threshold enumeration is for small systems");
   assert(p.q <= p.r && p.r <= p.t && p.t <= p.n);
-  std::vector<Quorum> quorums;
+  std::vector<BasicQuorum<Set>> quorums;
   // Exact count: sum over missing <= t of C(n, n - missing). Sized up
   // front so the enumeration below never reallocates.
   std::size_t total = 0;
@@ -17,121 +18,162 @@ RefinedQuorumSystem make_threshold_rqs(const ThresholdParams& p) {
     total += binomial(p.n, p.n - missing);
   }
   quorums.reserve(total);
-  const ProcessSet everyone = ProcessSet::universe(p.n);
+  const Set everyone = Set::universe(p.n);
   // All subsets of size >= n - t, classed by how many processes they miss.
   for (std::size_t missing = 0; missing <= p.t; ++missing) {
     const std::size_t size = p.n - missing;
-    for_each_subset_of_size(everyone, size, [&](ProcessSet s) {
+    for_each_subset_of_size(everyone, size, [&](Set s) {
       QuorumClass cls = QuorumClass::Class3;
       if (p.has_class1 && missing <= p.q) {
         cls = QuorumClass::Class1;
       } else if (p.has_class2 && missing <= p.r) {
         cls = QuorumClass::Class2;
       }
-      quorums.push_back(Quorum{s, cls});
+      quorums.push_back(BasicQuorum<Set>{s, cls});
     });
   }
-  return RefinedQuorumSystem{Adversary::threshold(p.n, p.k), std::move(quorums)};
+  return BasicRefinedQuorumSystem<Set>{BasicAdversary<Set>::threshold(p.n, p.k),
+                                       std::move(quorums)};
 }
 
-RefinedQuorumSystem make_crash_majority(std::size_t n) {
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_crash_majority(std::size_t n) {
   assert(n >= 1);
   const std::size_t t = (n - 1) / 2;
-  return make_threshold_rqs(ThresholdParams{.n = n,
-                                            .k = 0,
-                                            .t = t,
-                                            .r = 0,
-                                            .q = 0,
-                                            .has_class1 = false,
-                                            .has_class2 = false});
+  return make_threshold_rqs<Set>(ThresholdParams{.n = n,
+                                                 .k = 0,
+                                                 .t = t,
+                                                 .r = 0,
+                                                 .q = 0,
+                                                 .has_class1 = false,
+                                                 .has_class2 = false});
 }
 
-RefinedQuorumSystem make_byzantine_third(std::size_t n) {
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_byzantine_third(std::size_t n) {
   assert(n >= 4);
   const std::size_t k = (n - 1) / 3;
-  return make_threshold_rqs(ThresholdParams{.n = n,
-                                            .k = k,
-                                            .t = k,
-                                            .r = 0,
-                                            .q = 0,
-                                            .has_class1 = false,
-                                            .has_class2 = false});
+  return make_threshold_rqs<Set>(ThresholdParams{.n = n,
+                                                 .k = k,
+                                                 .t = k,
+                                                 .r = 0,
+                                                 .q = 0,
+                                                 .has_class1 = false,
+                                                 .has_class2 = false});
 }
 
-RefinedQuorumSystem make_disseminating(std::size_t n, std::size_t k, std::size_t t) {
-  return make_threshold_rqs(ThresholdParams{.n = n,
-                                            .k = k,
-                                            .t = t,
-                                            .r = 0,
-                                            .q = 0,
-                                            .has_class1 = false,
-                                            .has_class2 = false});
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_disseminating(std::size_t n, std::size_t k,
+                                                 std::size_t t) {
+  return make_threshold_rqs<Set>(ThresholdParams{.n = n,
+                                                 .k = k,
+                                                 .t = t,
+                                                 .r = 0,
+                                                 .q = 0,
+                                                 .has_class1 = false,
+                                                 .has_class2 = false});
 }
 
-RefinedQuorumSystem make_masking(std::size_t n, std::size_t k, std::size_t t) {
-  return make_threshold_rqs(ThresholdParams{.n = n,
-                                            .k = k,
-                                            .t = t,
-                                            .r = t,  // QC2 = RQS
-                                            .q = 0,
-                                            .has_class1 = false,
-                                            .has_class2 = true});
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_masking(std::size_t n, std::size_t k,
+                                           std::size_t t) {
+  return make_threshold_rqs<Set>(ThresholdParams{.n = n,
+                                                 .k = k,
+                                                 .t = t,
+                                                 .r = t,  // QC2 = RQS
+                                                 .q = 0,
+                                                 .has_class1 = false,
+                                                 .has_class2 = true});
 }
 
-RefinedQuorumSystem make_fast_threshold(std::size_t n, std::size_t k,
-                                        std::size_t t, std::size_t q) {
-  return make_threshold_rqs(ThresholdParams{
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_fast_threshold(std::size_t n, std::size_t k,
+                                                  std::size_t t, std::size_t q) {
+  return make_threshold_rqs<Set>(ThresholdParams{
       .n = n, .k = k, .t = t, .r = q, .q = q,
       .has_class1 = true, .has_class2 = true});
 }
 
-RefinedQuorumSystem make_graded_threshold(std::size_t n, std::size_t k,
-                                          std::size_t t, std::size_t r,
-                                          std::size_t q) {
-  return make_threshold_rqs(ThresholdParams{
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_graded_threshold(std::size_t n, std::size_t k,
+                                                    std::size_t t, std::size_t r,
+                                                    std::size_t q) {
+  return make_threshold_rqs<Set>(ThresholdParams{
       .n = n, .k = k, .t = t, .r = r, .q = q,
       .has_class1 = true, .has_class2 = true});
 }
 
-RefinedQuorumSystem make_3t1_instantiation(std::size_t t) {
-  return make_graded_threshold(3 * t + 1, /*k=*/t, /*t=*/t, /*r=*/t, /*q=*/0);
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_3t1_instantiation(std::size_t t) {
+  return make_graded_threshold<Set>(3 * t + 1, /*k=*/t, /*t=*/t, /*r=*/t,
+                                    /*q=*/0);
 }
 
-RefinedQuorumSystem make_fig3_example() {
-  std::vector<Quorum> quorums = {
-      Quorum{ProcessSet{4, 5, 6, 7}, QuorumClass::Class3},           // Q
-      Quorum{ProcessSet{0, 1, 2, 3, 6, 7}, QuorumClass::Class3},     // Q'
-      Quorum{ProcessSet{0, 1, 2, 4, 5}, QuorumClass::Class2},        // Q2
-      Quorum{ProcessSet{2, 3, 4, 5, 6}, QuorumClass::Class1},        // Q1
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_fig3_example() {
+  std::vector<BasicQuorum<Set>> quorums = {
+      BasicQuorum<Set>{Set{4, 5, 6, 7}, QuorumClass::Class3},           // Q
+      BasicQuorum<Set>{Set{0, 1, 2, 3, 6, 7}, QuorumClass::Class3},     // Q'
+      BasicQuorum<Set>{Set{0, 1, 2, 4, 5}, QuorumClass::Class2},        // Q2
+      BasicQuorum<Set>{Set{2, 3, 4, 5, 6}, QuorumClass::Class1},        // Q1
   };
-  return RefinedQuorumSystem{Adversary::threshold(8, 1), std::move(quorums)};
+  return BasicRefinedQuorumSystem<Set>{BasicAdversary<Set>::threshold(8, 1),
+                                       std::move(quorums)};
 }
 
-RefinedQuorumSystem make_example7() {
-  Adversary adversary{6, {ProcessSet{},        // the empty coalition
-                          ProcessSet{0, 1},    // {s1, s2}
-                          ProcessSet{2, 3},    // {s3, s4}
-                          ProcessSet{1, 3}}};  // {s2, s4}
-  std::vector<Quorum> quorums = {
-      Quorum{ProcessSet{1, 3, 4, 5}, QuorumClass::Class1},        // Q1
-      Quorum{ProcessSet{0, 1, 2, 3, 4}, QuorumClass::Class2},     // Q2
-      Quorum{ProcessSet{0, 1, 2, 3, 5}, QuorumClass::Class2},     // Q2'
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_example7() {
+  BasicAdversary<Set> adversary{6, {Set{},        // the empty coalition
+                                    Set{0, 1},    // {s1, s2}
+                                    Set{2, 3},    // {s3, s4}
+                                    Set{1, 3}}};  // {s2, s4}
+  std::vector<BasicQuorum<Set>> quorums = {
+      BasicQuorum<Set>{Set{1, 3, 4, 5}, QuorumClass::Class1},        // Q1
+      BasicQuorum<Set>{Set{0, 1, 2, 3, 4}, QuorumClass::Class2},     // Q2
+      BasicQuorum<Set>{Set{0, 1, 2, 3, 5}, QuorumClass::Class2},     // Q2'
   };
-  return RefinedQuorumSystem{std::move(adversary), std::move(quorums)};
+  return BasicRefinedQuorumSystem<Set>{std::move(adversary), std::move(quorums)};
 }
 
-RefinedQuorumSystem make_fig1_fast5() {
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_fig1_fast5() {
   // 5 servers, up to t = 2 crashes, no Byzantine process (k = 0). The
   // 4-subsets are class 1; with k = 0 Property 3 is free so every quorum
   // may be class 2, which is what lets both tiers (1- and 2-round) exist.
-  return make_graded_threshold(/*n=*/5, /*k=*/0, /*t=*/2, /*r=*/2, /*q=*/1);
+  return make_graded_threshold<Set>(/*n=*/5, /*k=*/0, /*t=*/2, /*r=*/2, /*q=*/1);
 }
 
-RefinedQuorumSystem make_fig1_broken5() {
+template <class Set>
+BasicRefinedQuorumSystem<Set> make_fig1_broken5() {
   // The greedy configuration of Figure 1: 3-subsets declared class 1.
   // Violates Property 2: two 3-subsets and a third quorum can have empty
   // intersection (Figure 2(a)).
-  return make_graded_threshold(/*n=*/5, /*k=*/0, /*t=*/2, /*r=*/2, /*q=*/2);
+  return make_graded_threshold<Set>(/*n=*/5, /*k=*/0, /*t=*/2, /*r=*/2, /*q=*/2);
 }
+
+#define RQS_CONSTRUCTIONS_INSTANTIATE(Set)                                     \
+  template BasicRefinedQuorumSystem<Set> make_threshold_rqs<Set>(              \
+      const ThresholdParams&);                                                 \
+  template BasicRefinedQuorumSystem<Set> make_crash_majority<Set>(             \
+      std::size_t);                                                            \
+  template BasicRefinedQuorumSystem<Set> make_byzantine_third<Set>(            \
+      std::size_t);                                                            \
+  template BasicRefinedQuorumSystem<Set> make_disseminating<Set>(              \
+      std::size_t, std::size_t, std::size_t);                                  \
+  template BasicRefinedQuorumSystem<Set> make_masking<Set>(                    \
+      std::size_t, std::size_t, std::size_t);                                  \
+  template BasicRefinedQuorumSystem<Set> make_fast_threshold<Set>(             \
+      std::size_t, std::size_t, std::size_t, std::size_t);                     \
+  template BasicRefinedQuorumSystem<Set> make_graded_threshold<Set>(           \
+      std::size_t, std::size_t, std::size_t, std::size_t, std::size_t);        \
+  template BasicRefinedQuorumSystem<Set> make_3t1_instantiation<Set>(          \
+      std::size_t);                                                            \
+  template BasicRefinedQuorumSystem<Set> make_fig3_example<Set>();             \
+  template BasicRefinedQuorumSystem<Set> make_example7<Set>();                 \
+  template BasicRefinedQuorumSystem<Set> make_fig1_fast5<Set>();               \
+  template BasicRefinedQuorumSystem<Set> make_fig1_broken5<Set>();
+RQS_CONSTRUCTIONS_INSTANTIATE(ProcessSet)
+RQS_CONSTRUCTIONS_INSTANTIATE(WideProcessSet)
+#undef RQS_CONSTRUCTIONS_INSTANTIATE
 
 }  // namespace rqs

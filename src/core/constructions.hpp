@@ -7,7 +7,13 @@
 //
 // All constructions return *explicit* systems (every quorum enumerated);
 // the analytic feasibility conditions of Examples 5/6 are exposed
-// separately so benches can sweep parameters without enumeration.
+// separately so benches can sweep parameters without enumeration. Each
+// factory is templated on the set width, defaulting to the protocol-width
+// ProcessSet so existing call sites are unchanged; instantiate with
+// WideProcessSet (e.g. make_fig3_example<WideProcessSet>()) to build the
+// same small system at analysis width for differential testing. Explicit
+// enumeration stays restricted to small n at every width — systems over
+// hundreds of processes are built hierarchically (core/hierarchy.hpp).
 #pragma once
 
 #include "core/rqs.hpp"
@@ -28,7 +34,9 @@ struct ThresholdParams {
 };
 
 /// Analytic feasibility conditions for the threshold family, as derived in
-/// Examples 5 and 6 of the paper. Each mirrors one RQS property.
+/// Examples 5 and 6 of the paper. Each mirrors one RQS property. Width-
+/// independent: these hold (or fail) for the parameters regardless of the
+/// set representation the explicit system is built with.
 struct ThresholdBounds {
   /// Property 1 holds iff |S| > 2t + k.
   [[nodiscard]] static bool property1(const ThresholdParams& p) noexcept {
@@ -57,40 +65,52 @@ struct ThresholdBounds {
 /// >= n - r is class 2 (subject to the has_class1/2 switches). The number
 /// of quorums is sum_{i<=t} C(n, n-i); intended for the small systems the
 /// protocols run on (asserts n <= 24).
-[[nodiscard]] RefinedQuorumSystem make_threshold_rqs(const ThresholdParams& p);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_threshold_rqs(
+    const ThresholdParams& p);
 
 /// Example 2: crash-tolerant majorities. B = {{}} (no Byzantine process),
 /// quorums = all majorities, QC1 = QC2 = empty.
-[[nodiscard]] RefinedQuorumSystem make_crash_majority(std::size_t n);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_crash_majority(std::size_t n);
 
 /// Example 3: Byzantine-tolerant two-thirds quorums. B = B_{floor((n-1)/3)},
 /// quorums = all subsets missing at most floor((n-1)/3), QC1 = QC2 = empty.
-[[nodiscard]] RefinedQuorumSystem make_byzantine_third(std::size_t n);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_byzantine_third(std::size_t n);
 
 /// Example 4, first half: a disseminating quorum system in the sense of
 /// Malkhi & Reiter (QC1 = QC2 = empty) for adversary B_k with quorums Q_t.
-[[nodiscard]] RefinedQuorumSystem make_disseminating(std::size_t n, std::size_t k,
-                                                     std::size_t t);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_disseminating(std::size_t n,
+                                                               std::size_t k,
+                                                               std::size_t t);
 
 /// Example 4, second half: a masking quorum system (QC1 = empty,
 /// QC2 = RQS) for adversary B_k with quorums Q_t.
-[[nodiscard]] RefinedQuorumSystem make_masking(std::size_t n, std::size_t k,
-                                               std::size_t t);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_masking(std::size_t n,
+                                                         std::size_t k,
+                                                         std::size_t t);
 
 /// Example 5: "fast" threshold RQS with QC1 = QC2 = Q_q (q <= t),
 /// adversary B_k. Requires the Lamport bounds |S| > 2q+t+2k, |S| > 2t+k.
-[[nodiscard]] RefinedQuorumSystem make_fast_threshold(std::size_t n, std::size_t k,
-                                                      std::size_t t, std::size_t q);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_fast_threshold(std::size_t n,
+                                                                std::size_t k,
+                                                                std::size_t t,
+                                                                std::size_t q);
 
 /// Example 6: graded threshold RQS, QC1 = Q_q, QC2 = Q_r, 0 <= q < r <= t.
-[[nodiscard]] RefinedQuorumSystem make_graded_threshold(std::size_t n, std::size_t k,
-                                                        std::size_t t, std::size_t r,
-                                                        std::size_t q);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_graded_threshold(
+    std::size_t n, std::size_t k, std::size_t t, std::size_t r, std::size_t q);
 
 /// The important instantiation highlighted at the end of Example 6:
 /// |S| = 3t+1 processes, k = t Byzantine, r = t (every quorum class 2),
 /// q = 0 (the full set is the only class 1 quorum).
-[[nodiscard]] RefinedQuorumSystem make_3t1_instantiation(std::size_t t);
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_3t1_instantiation(std::size_t t);
 
 /// Figure 3's example over 8 processes with adversary B_1 (processes are
 /// 0-indexed; the paper's element i is process i-1):
@@ -98,24 +118,54 @@ struct ThresholdBounds {
 ///   Q'  = {0,1,2,3,6,7}    class 3
 ///   Q2  = {0,1,2,4,5}      class 2
 ///   Q1  = {2,3,4,5,6}      class 1
-[[nodiscard]] RefinedQuorumSystem make_fig3_example();
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_fig3_example();
 
 /// Example 7's six-server general-adversary system (0-indexed, the paper's
 /// s_i is process i-1): B maximal elements {0,1}, {2,3}, {1,3};
 ///   Q1  = {1,3,4,5}        class 1
 ///   Q2  = {0,1,2,3,4}      class 2
 ///   Q2' = {0,1,2,3,5}      class 2
-[[nodiscard]] RefinedQuorumSystem make_example7();
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_example7();
 
 /// The Section 1.2 / Figure 2(b) system: 5 crash-prone servers, t = 2;
 /// every 3-subset is a quorum and every 4-subset is a class 1 quorum.
 /// With k = 0, Property 3 is free, so all quorums are class 2: reads and
 /// writes finish in at most 2 rounds, matching the Section 5 discussion.
-[[nodiscard]] RefinedQuorumSystem make_fig1_fast5();
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_fig1_fast5();
 
 /// A deliberately *invalid* variant of the Section 1.2 system where the
 /// 3-subsets are (wrongly) declared class 1 — the configuration whose
 /// atomicity violation Figure 1 depicts. check() rejects it via P2.
-[[nodiscard]] RefinedQuorumSystem make_fig1_broken5();
+template <class Set = ProcessSet>
+[[nodiscard]] BasicRefinedQuorumSystem<Set> make_fig1_broken5();
+
+// Instantiated once in constructions.cpp for the two supported widths.
+#define RQS_CONSTRUCTIONS_EXTERN(Set)                                          \
+  extern template BasicRefinedQuorumSystem<Set> make_threshold_rqs<Set>(       \
+      const ThresholdParams&);                                                 \
+  extern template BasicRefinedQuorumSystem<Set> make_crash_majority<Set>(      \
+      std::size_t);                                                            \
+  extern template BasicRefinedQuorumSystem<Set> make_byzantine_third<Set>(     \
+      std::size_t);                                                            \
+  extern template BasicRefinedQuorumSystem<Set> make_disseminating<Set>(       \
+      std::size_t, std::size_t, std::size_t);                                  \
+  extern template BasicRefinedQuorumSystem<Set> make_masking<Set>(             \
+      std::size_t, std::size_t, std::size_t);                                  \
+  extern template BasicRefinedQuorumSystem<Set> make_fast_threshold<Set>(      \
+      std::size_t, std::size_t, std::size_t, std::size_t);                     \
+  extern template BasicRefinedQuorumSystem<Set> make_graded_threshold<Set>(    \
+      std::size_t, std::size_t, std::size_t, std::size_t, std::size_t);        \
+  extern template BasicRefinedQuorumSystem<Set> make_3t1_instantiation<Set>(   \
+      std::size_t);                                                            \
+  extern template BasicRefinedQuorumSystem<Set> make_fig3_example<Set>();      \
+  extern template BasicRefinedQuorumSystem<Set> make_example7<Set>();          \
+  extern template BasicRefinedQuorumSystem<Set> make_fig1_fast5<Set>();        \
+  extern template BasicRefinedQuorumSystem<Set> make_fig1_broken5<Set>();
+RQS_CONSTRUCTIONS_EXTERN(ProcessSet)
+RQS_CONSTRUCTIONS_EXTERN(WideProcessSet)
+#undef RQS_CONSTRUCTIONS_EXTERN
 
 }  // namespace rqs

@@ -1,0 +1,285 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/combinatorics.hpp"
+#include "core/check_engine.hpp"
+
+namespace rqs {
+
+namespace {
+
+/// Strong P3 for one inner system: BOTH disjuncts must hold for every
+/// (q2 in QC2, q in RQS, b in B). Antitone in b, so quantifying b over
+/// maximal elements suffices; threshold adversaries are handled
+/// analytically (worst b removes k members of each intersection).
+[[nodiscard]] bool inner_strong_p3(const RefinedQuorumSystem& sys) {
+  const Adversary& adv = sys.adversary();
+  if (sys.class2_ids().empty()) return true;  // vacuous
+  // P3b requires a nonempty QC1 at all.
+  if (sys.class1_ids().empty()) return false;
+  for (const QuorumId q2id : sys.class2_ids()) {
+    const ProcessSet q2 = sys.quorum_set(q2id);
+    for (QuorumId qid = 0; qid < sys.quorum_count(); ++qid) {
+      const ProcessSet inter = q2 & sys.quorum_set(qid);
+      if (adv.is_threshold()) {
+        const std::size_t k = adv.threshold_k();
+        if (inter.size() < 2 * k + 1) return false;  // P3a
+        for (const QuorumId q1 : sys.class1_ids()) {  // P3b
+          if ((sys.quorum_set(q1) & inter).size() < k + 1) return false;
+        }
+        continue;
+      }
+      for (const ProcessSet b : adv.maximal_view()) {
+        if (!sys.p3a(q2, sys.quorum_set(qid), b)) return false;
+        if (!sys.p3b(q2, sys.quorum_set(qid), b)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// True iff the adversary admits the empty coalition (every adversary
+/// except Adversary::none does).
+[[nodiscard]] bool contains_empty(const Adversary& adv) {
+  return adv.contains(ProcessSet{});
+}
+
+}  // namespace
+
+HierarchicalRqs::HierarchicalRqs(RefinedQuorumSystem top,
+                                 std::vector<RefinedQuorumSystem> inner)
+    : top_(std::move(top)), inner_(std::move(inner)) {
+  if (top_.universe_size() != inner_.size()) {
+    detail::process_set_bounds_failure(top_.universe_size(), inner_.size(),
+                                       "hierarchical top universe vs clusters");
+  }
+  offsets_.reserve(inner_.size());
+  for (const RefinedQuorumSystem& sys : inner_) {
+    offsets_.push_back(n_);
+    n_ += sys.universe_size();
+  }
+}
+
+HierarchicalCheckResult HierarchicalRqs::check() const {
+  HierarchicalCheckResult out;
+  out.top = top_.check(0);
+  out.inner.reserve(inner_.size());
+  for (std::size_t c = 0; c < inner_.size(); ++c) {
+    out.inner.push_back(inner_[c].check(0));
+    if (!inner_strong_p3(inner_[c])) out.weak_p3_clusters.push_back(c);
+    if (!contains_empty(inner_[c].adversary())) {
+      out.degenerate_clusters.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string HierarchicalCheckResult::to_string() const {
+  if (ok()) return "hierarchical structural conditions hold";
+  std::string out;
+  if (!top.ok()) out += "top: " + top.to_string() + "\n";
+  for (std::size_t c = 0; c < inner.size(); ++c) {
+    if (!inner[c].ok()) {
+      out += "cluster " + std::to_string(c) + ": " + inner[c].to_string() + "\n";
+    }
+  }
+  for (const std::size_t c : weak_p3_clusters) {
+    out += "cluster " + std::to_string(c) + ": strong P3 fails\n";
+  }
+  for (const std::size_t c : degenerate_clusters) {
+    out += "cluster " + std::to_string(c) +
+           ": inner adversary rejects the empty coalition\n";
+  }
+  return out;
+}
+
+std::uint64_t HierarchicalRqs::composite_quorum_count() const {
+  std::uint64_t total = 0;
+  for (QuorumId t = 0; t < top_.quorum_count(); ++t) {
+    std::uint64_t per_top = 1;
+    for (const ProcessId c : top_.quorum_set(t)) {
+      const std::uint64_t m = inner_[c].quorum_count();
+      if (m != 0 && per_top > kBinomialSaturated / m) return kBinomialSaturated;
+      per_top *= m;
+    }
+    if (total > kBinomialSaturated - per_top) return kBinomialSaturated;
+    total += per_top;
+  }
+  return total;
+}
+
+template <class Set>
+std::vector<BasicQuorum<Set>> HierarchicalRqs::materialize_quorums(
+    std::size_t max_quorums) const {
+  if (n_ > Set::kMaxProcesses) {
+    detail::process_set_bounds_failure(n_, Set::kMaxProcesses,
+                                       "materialized hierarchy universe");
+  }
+  std::vector<BasicQuorum<Set>> out;
+  for (QuorumId t = 0; t < top_.quorum_count(); ++t) {
+    const std::vector<ProcessId> engaged = top_.quorum_set(t).members();
+    if (engaged.empty()) continue;
+    if (std::any_of(engaged.begin(), engaged.end(), [this](ProcessId c) {
+          return inner_[c].quorum_count() == 0;
+        })) {
+      continue;  // a cluster with no quorums yields no composite
+    }
+    // Odometer over one inner-quorum index per engaged cluster.
+    std::vector<QuorumId> pick(engaged.size(), 0);
+    while (true) {
+      Set composite;
+      QuorumClass cls = top_.quorum(t).cls;
+      for (std::size_t i = 0; i < engaged.size(); ++i) {
+        const std::size_t c = engaged[i];
+        const BasicQuorum<ProcessSet>& q = inner_[c].quorum(pick[i]);
+        cls = std::max(cls, q.cls);
+        for (const ProcessId local : q.set) {
+          composite.insert(static_cast<ProcessId>(offsets_[c] + local));
+        }
+      }
+      out.push_back(BasicQuorum<Set>{composite, cls});
+      if (max_quorums != 0 && out.size() >= max_quorums) return out;
+      // Advance the odometer (last cluster fastest).
+      std::size_t i = engaged.size();
+      while (i > 0) {
+        --i;
+        if (++pick[i] < inner_[engaged[i]].quorum_count()) break;
+        pick[i] = 0;
+        if (i == 0) goto next_top;
+      }
+    }
+  next_top:;
+  }
+  return out;
+}
+
+template <class Set>
+std::optional<BasicAdversary<Set>> HierarchicalRqs::flatten_adversary(
+    std::size_t max_elements) const {
+  if (n_ > Set::kMaxProcesses) {
+    detail::process_set_bounds_failure(n_, Set::kMaxProcesses,
+                                       "flattened hierarchy universe");
+  }
+  // Pre-collect per-cluster maximal element lists (global ids) and the full
+  // cluster sets. Clusters whose inner adversary is none() get an empty
+  // list, which eliminates every top element engaging them.
+  std::vector<std::vector<Set>> inner_max(inner_.size());
+  std::vector<Set> full(inner_.size());
+  for (std::size_t c = 0; c < inner_.size(); ++c) {
+    for (std::size_t local = 0; local < inner_[c].universe_size(); ++local) {
+      full[c].insert(static_cast<ProcessId>(offsets_[c] + local));
+    }
+    inner_[c].adversary().for_each_maximal_element([&](const ProcessSet& m) {
+      Set global;
+      for (const ProcessId local : m) {
+        global.insert(static_cast<ProcessId>(offsets_[c] + local));
+      }
+      inner_max[c].push_back(global);
+    });
+  }
+  std::vector<Set> elements;
+  bool overflow = false;
+  top_.adversary().for_each_maximal_element([&](const ProcessSet& e) -> bool {
+    // Clusters not in e contribute one maximal inner element each; walk the
+    // cartesian product with an odometer.
+    std::vector<std::size_t> free_clusters;
+    for (std::size_t c = 0; c < inner_.size(); ++c) {
+      if (!e.contains(static_cast<ProcessId>(c))) free_clusters.push_back(c);
+    }
+    if (std::any_of(free_clusters.begin(), free_clusters.end(),
+                    [&](std::size_t c) { return inner_max[c].empty(); })) {
+      return true;  // some free cluster admits nothing, not even {}
+    }
+    Set base;
+    for (const ProcessId c : e) base |= full[c];
+    std::vector<std::size_t> pick(free_clusters.size(), 0);
+    while (true) {
+      Set x = base;
+      for (std::size_t i = 0; i < free_clusters.size(); ++i) {
+        x |= inner_max[free_clusters[i]][pick[i]];
+      }
+      if (elements.size() >= max_elements) {
+        overflow = true;
+        return false;
+      }
+      elements.push_back(x);
+      std::size_t i = free_clusters.size();
+      while (i > 0) {
+        --i;
+        if (++pick[i] < inner_max[free_clusters[i]].size()) break;
+        pick[i] = 0;
+        if (i == 0) return true;
+      }
+      if (free_clusters.empty()) return true;
+    }
+  });
+  if (overflow) return std::nullopt;
+  return BasicAdversary<Set>{n_, std::move(elements)};
+}
+
+double HierarchicalRqs::availability_sampled(double p, std::size_t samples,
+                                             Rng& rng, QuorumClass cls) const {
+  assert(samples > 0);
+  std::size_t hits = 0;
+  std::vector<ProcessSet> alive(inner_.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    // Per-cluster local alive sets, then the set of clusters offering a
+    // live inner quorum of class <= cls.
+    ProcessSet clusters_up;
+    for (std::size_t c = 0; c < inner_.size(); ++c) {
+      alive[c] = {};
+      for (std::size_t local = 0; local < inner_[c].universe_size(); ++local) {
+        if (!rng.chance(p)) alive[c].insert(static_cast<ProcessId>(local));
+      }
+      const auto best = inner_[c].best_available(alive[c]);
+      if (best &&
+          static_cast<int>(inner_[c].quorum(*best).cls) <=
+              static_cast<int>(cls)) {
+        clusters_up.insert(static_cast<ProcessId>(c));
+      }
+    }
+    const auto top_best = top_.best_available(clusters_up);
+    if (top_best && static_cast<int>(top_.quorum(*top_best).cls) <=
+                        static_cast<int>(cls)) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+std::string HierarchicalRqs::to_string() const {
+  std::string out = "Hierarchical RQS: " + std::to_string(n_) +
+                    " processes in " + std::to_string(inner_.size()) +
+                    " clusters\n  top: " + std::to_string(top_.quorum_count()) +
+                    " quorums over " + top_.adversary().to_string() + "\n";
+  for (std::size_t c = 0; c < inner_.size(); ++c) {
+    out += "  cluster " + std::to_string(c) + " [offset " +
+           std::to_string(offsets_[c]) + "]: " +
+           std::to_string(inner_[c].quorum_count()) + " quorums over " +
+           inner_[c].adversary().to_string() + "\n";
+  }
+  return out;
+}
+
+HierarchicalRqs make_hierarchical_threshold(const ThresholdParams& top,
+                                            const ThresholdParams& inner) {
+  std::vector<RefinedQuorumSystem> clusters;
+  clusters.reserve(top.n);
+  for (std::size_t c = 0; c < top.n; ++c) {
+    clusters.push_back(make_threshold_rqs(inner));
+  }
+  return HierarchicalRqs{make_threshold_rqs(top), std::move(clusters)};
+}
+
+template std::vector<BasicQuorum<ProcessSet>>
+HierarchicalRqs::materialize_quorums<ProcessSet>(std::size_t) const;
+template std::vector<BasicQuorum<WideProcessSet>>
+HierarchicalRqs::materialize_quorums<WideProcessSet>(std::size_t) const;
+template std::optional<BasicAdversary<ProcessSet>>
+HierarchicalRqs::flatten_adversary<ProcessSet>(std::size_t) const;
+template std::optional<BasicAdversary<WideProcessSet>>
+HierarchicalRqs::flatten_adversary<WideProcessSet>(std::size_t) const;
+
+}  // namespace rqs

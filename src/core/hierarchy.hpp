@@ -1,0 +1,170 @@
+// Hierarchical (recursive) refined quorum systems.
+//
+// The explicit constructions of core/constructions.hpp enumerate every
+// quorum, which caps them at a few dozen processes; the paper's properties,
+// however, compose. This module builds RQS over hundreds of processes as a
+// two-level recursion:
+//
+//   * the universe {0..n-1} is partitioned into clusters S_1..S_C,
+//   * each cluster c carries an *inner* RQS (over its <= 64 local
+//     processes, protocol-width) with inner adversary B_c,
+//   * a *top* RQS over the C cluster ids (C <= 64, also protocol-width)
+//     with top adversary B_top picks which clusters to engage,
+//   * a *composite quorum* is U_{c in T} q_c for a top quorum T and one
+//     inner quorum q_c per engaged cluster; its class is
+//     max(class(T), max_c class(q_c)).
+//
+// The composite system lives under the *product adversary* B:
+//     X in B   iff   E(X) := { c : X n S_c not in B_c }  in  B_top
+// ("clusters where X exceeds the inner adversary must form an allowed top
+// coalition"). B is downward closed because B_c and B_top are.
+//
+// check() verifies *structural* sufficient conditions, each a <= 64-process
+// check, so validating an n = 256 hierarchy costs a handful of small
+// checks instead of one exponential wide one:
+//
+//   composite P1  <=  top P1 and inner P1 in every cluster.
+//     Proof sketch: for composite Q, Q' with tops T, T', the footprint of
+//     Q n Q' in each cluster c in T n T' is q_c n q'_c, outside B_c by
+//     inner P1; so E(Q n Q') contains T n T', which is outside B_top by
+//     top P1, and supersets of non-elements are non-elements.
+//   composite P2  <=  top P2 and inner P2 in every cluster.
+//     Top P2 yields a cluster c* in T1 n T1' n T with B1 n S_c*, B2 n S_c*
+//     both in B_c*; inner P2 in c* then forbids the cover.
+//   composite P3  <=  top P3 and inner *strong* P3 in every cluster,
+//     where strong P3 requires BOTH disjuncts per triple: for all q2 in
+//     QC2^c, q in Q^c, b in B_c: P3a(q2,q,b) AND P3b(q2,q,b). When top P3
+//     resolves a (T2, T, E) by P3a, clusters in T2 n T \ E supply inner
+//     P3a; when it resolves by P3b, the witness cluster supplies inner P3b.
+//
+// These conditions are sufficient, not necessary (a composite system can
+// satisfy Definition 2 even if some inner check fails); top-level P1
+// violations, by contrast, always translate to composite P1 violations
+// (pick any inner quorums — their footprints in the violating clusters are
+// full inner quorums, which are never in B_c when inner P1 holds).
+// tests/hierarchy_test.cpp checks both directions differentially against
+// the flat checker on <= 64-process universes.
+//
+// flatten_adversary()/materialize_quorums() project the hierarchy onto a
+// flat BasicProcessSet width (ProcessSet for n <= 64 differential tests,
+// WideProcessSet for the 256-process benches) so the ordinary CheckEngine,
+// classify() and analysis paths apply to the composite system directly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/constructions.hpp"
+#include "core/rqs.hpp"
+
+namespace rqs {
+
+/// Outcome of the structural check. ok() iff every sufficient condition
+/// holds; the per-layer results pinpoint which layer (and cluster) failed.
+struct HierarchicalCheckResult {
+  CheckResult top;                         ///< top-level Definition 2 check
+  std::vector<CheckResult> inner;          ///< per-cluster Definition 2 check
+  std::vector<std::size_t> weak_p3_clusters;  ///< clusters where strong P3 fails
+  std::vector<std::size_t> degenerate_clusters;  ///< inner B without {} (B = none)
+
+  [[nodiscard]] bool ok() const noexcept {
+    if (!top.ok()) return false;
+    for (const CheckResult& r : inner) {
+      if (!r.ok()) return false;
+    }
+    return weak_p3_clusters.empty() && degenerate_clusters.empty();
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class HierarchicalRqs {
+ public:
+  /// `top` ranges over cluster ids 0..C-1 (C = inner.size()); inner[c] is
+  /// the cluster-local system of cluster c, over local ids 0..m_c-1.
+  /// Cluster c occupies the contiguous global id range
+  /// [offset(c), offset(c) + inner[c].universe_size()). Cluster sizes may
+  /// differ. Hard-fails if the top universe does not match the cluster
+  /// count.
+  HierarchicalRqs(RefinedQuorumSystem top, std::vector<RefinedQuorumSystem> inner);
+
+  [[nodiscard]] std::size_t total_processes() const noexcept { return n_; }
+  [[nodiscard]] std::size_t cluster_count() const noexcept { return inner_.size(); }
+  [[nodiscard]] std::size_t offset(std::size_t c) const { return offsets_.at(c); }
+  [[nodiscard]] const RefinedQuorumSystem& top() const noexcept { return top_; }
+  [[nodiscard]] const RefinedQuorumSystem& inner(std::size_t c) const {
+    return inner_.at(c);
+  }
+
+  /// The structural sufficient conditions described above: top Definition 2
+  /// check, per-cluster Definition 2 check, per-cluster strong P3, and
+  /// non-degeneracy of the inner adversaries (each must contain the empty
+  /// coalition, i.e. not be Adversary::none — a cluster with no Byzantine
+  /// member must be a legal configuration for the product adversary to
+  /// behave). Cost: one <= 64-process check per layer.
+  [[nodiscard]] HierarchicalCheckResult check() const;
+
+  /// Number of composite quorums the full cartesian materialization would
+  /// produce (saturates at kBinomialSaturated); materialize_quorums() with
+  /// max_quorums below this truncates deterministically.
+  [[nodiscard]] std::uint64_t composite_quorum_count() const;
+
+  /// Materializes composite quorums at width `Set` (global ids), in
+  /// deterministic order: top quorums by id, inner choices in odometer
+  /// order. Stops after max_quorums (0 = no cap — only safe when
+  /// composite_quorum_count() is small). Hard-fails if total_processes()
+  /// exceeds Set::kMaxProcesses.
+  template <class Set>
+  [[nodiscard]] std::vector<BasicQuorum<Set>> materialize_quorums(
+      std::size_t max_quorums) const;
+
+  /// Exact flat form of the product adversary: maximal elements are
+  /// (full clusters of E) u (one maximal inner element per cluster not in
+  /// E), for E ranging over maximal elements of B_top. Returns nullopt if
+  /// the element count would exceed max_elements (threshold inner
+  /// adversaries at scale produce astronomically many; the structural
+  /// check never needs them). Clusters whose inner adversary is
+  /// Adversary::none contribute no element for c not in E, eliminating
+  /// that E entirely.
+  template <class Set>
+  [[nodiscard]] std::optional<BasicAdversary<Set>> flatten_adversary(
+      std::size_t max_elements) const;
+
+  /// Monte-Carlo availability of composite quorums of class <= cls when
+  /// every process fails independently with probability p: a sample counts
+  /// iff some top quorum T with class(T) <= cls has, in every engaged
+  /// cluster, a fully-alive inner quorum of class <= cls. Exactly the
+  /// availability of the (exponentially many) materialized composite
+  /// quorums, without materializing any.
+  [[nodiscard]] double availability_sampled(
+      double p, std::size_t samples, Rng& rng,
+      QuorumClass cls = QuorumClass::Class3) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  RefinedQuorumSystem top_;
+  std::vector<RefinedQuorumSystem> inner_;
+  std::vector<std::size_t> offsets_;  // global id base per cluster
+  std::size_t n_{0};
+};
+
+/// The threshold instantiation: top.n identical clusters of inner.n
+/// processes each; the top threshold family (Example 6) ranges over
+/// cluster ids and the inner threshold family is replicated per cluster.
+/// Total universe: top.n * inner.n processes (e.g. 16 x 16 = 256).
+[[nodiscard]] HierarchicalRqs make_hierarchical_threshold(
+    const ThresholdParams& top, const ThresholdParams& inner);
+
+// Instantiated once in hierarchy.cpp for the two supported widths.
+extern template std::vector<BasicQuorum<ProcessSet>>
+HierarchicalRqs::materialize_quorums<ProcessSet>(std::size_t) const;
+extern template std::vector<BasicQuorum<WideProcessSet>>
+HierarchicalRqs::materialize_quorums<WideProcessSet>(std::size_t) const;
+extern template std::optional<BasicAdversary<ProcessSet>>
+HierarchicalRqs::flatten_adversary<ProcessSet>(std::size_t) const;
+extern template std::optional<BasicAdversary<WideProcessSet>>
+HierarchicalRqs::flatten_adversary<WideProcessSet>(std::size_t) const;
+
+}  // namespace rqs

@@ -8,27 +8,30 @@
 
 namespace rqs {
 
-std::string PropertyViolation::to_string() const {
+template <class Set>
+std::string BasicPropertyViolation<Set>::to_string() const {
   std::string out = "Property " + std::to_string(property) + " violated: " + detail;
   return out;
 }
 
-std::string CheckResult::to_string() const {
+template <class Set>
+std::string BasicCheckResult<Set>::to_string() const {
   if (ok()) return "all RQS properties hold";
   std::string out;
-  for (const PropertyViolation& v : violations) {
+  for (const BasicPropertyViolation<Set>& v : violations) {
     if (!out.empty()) out += "\n";
     out += v.to_string();
   }
   return out;
 }
 
-RefinedQuorumSystem::RefinedQuorumSystem(Adversary adversary,
-                                         std::vector<Quorum> quorums)
+template <class Set>
+BasicRefinedQuorumSystem<Set>::BasicRefinedQuorumSystem(
+    BasicAdversary<Set> adversary, std::vector<BasicQuorum<Set>> quorums)
     : adversary_(std::move(adversary)), quorums_(std::move(quorums)) {
-  [[maybe_unused]] const ProcessSet everyone = ProcessSet::universe(universe_size());
+  [[maybe_unused]] const Set everyone = Set::universe(universe_size());
   for (QuorumId id = 0; id < quorums_.size(); ++id) {
-    [[maybe_unused]] const Quorum& q = quorums_[id];
+    [[maybe_unused]] const BasicQuorum<Set>& q = quorums_[id];
     assert(q.set.subset_of(everyone));
     switch (quorums_[id].cls) {
       case QuorumClass::Class1:
@@ -50,20 +53,24 @@ RefinedQuorumSystem::RefinedQuorumSystem(Adversary adversary,
   }
 }
 
-std::vector<QuorumId> RefinedQuorumSystem::all_ids() const {
+template <class Set>
+std::vector<QuorumId> BasicRefinedQuorumSystem<Set>::all_ids() const {
   std::vector<QuorumId> ids(quorum_count());
   for (QuorumId id = 0; id < ids.size(); ++id) ids[id] = id;
   return ids;
 }
 
-std::optional<QuorumId> RefinedQuorumSystem::find(ProcessSet s) const {
+template <class Set>
+std::optional<QuorumId> BasicRefinedQuorumSystem<Set>::find(Set s) const {
   for (QuorumId id = 0; id < quorums_.size(); ++id) {
     if (quorums_[id].set == s) return id;
   }
   return std::nullopt;
 }
 
-std::optional<QuorumId> RefinedQuorumSystem::best_available(ProcessSet alive) const {
+template <class Set>
+std::optional<QuorumId> BasicRefinedQuorumSystem<Set>::best_available(
+    Set alive) const {
   std::optional<QuorumId> best;
   auto rank = [this](QuorumId id) {
     return static_cast<int>(quorums_[id].cls);
@@ -75,11 +82,13 @@ std::optional<QuorumId> RefinedQuorumSystem::best_available(ProcessSet alive) co
   return best;
 }
 
-bool RefinedQuorumSystem::p3a(ProcessSet q2, ProcessSet q, ProcessSet b) const {
+template <class Set>
+bool BasicRefinedQuorumSystem<Set>::p3a(Set q2, Set q, Set b) const {
   return adversary_.is_basic((q2 & q) - b);
 }
 
-bool RefinedQuorumSystem::p3b(ProcessSet q2, ProcessSet q, ProcessSet b) const {
+template <class Set>
+bool BasicRefinedQuorumSystem<Set>::p3b(Set q2, Set q, Set b) const {
   if (qc1_.empty()) return false;
   for (const QuorumId q1 : qc1_) {
     if (((quorums_[q1].set & q2 & q) - b).empty()) return false;
@@ -87,14 +96,16 @@ bool RefinedQuorumSystem::p3b(ProcessSet q2, ProcessSet q, ProcessSet b) const {
   return true;
 }
 
-bool RefinedQuorumSystem::check_property1(CheckResult& out, std::size_t max) const {
+template <class Set>
+bool BasicRefinedQuorumSystem<Set>::check_property1(BasicCheckResult<Set>& out,
+                                                    std::size_t max) const {
   bool ok = true;
   for (QuorumId a = 0; a < quorums_.size(); ++a) {
     for (QuorumId b = a; b < quorums_.size(); ++b) {
-      const ProcessSet inter = quorums_[a].set & quorums_[b].set;
+      const Set inter = quorums_[a].set & quorums_[b].set;
       if (!adversary_.is_basic(inter)) {
         ok = false;
-        out.violations.push_back(PropertyViolation{
+        out.violations.push_back(BasicPropertyViolation<Set>{
             .property = 1,
             .q_a = a,
             .q_b = b,
@@ -110,16 +121,18 @@ bool RefinedQuorumSystem::check_property1(CheckResult& out, std::size_t max) con
   return ok;
 }
 
-bool RefinedQuorumSystem::check_property2(CheckResult& out, std::size_t max) const {
+template <class Set>
+bool BasicRefinedQuorumSystem<Set>::check_property2(BasicCheckResult<Set>& out,
+                                                    std::size_t max) const {
   bool ok = true;
   for (std::size_t i = 0; i < qc1_.size(); ++i) {
     for (std::size_t j = i; j < qc1_.size(); ++j) {
-      const ProcessSet q1q1 = quorums_[qc1_[i]].set & quorums_[qc1_[j]].set;
+      const Set q1q1 = quorums_[qc1_[i]].set & quorums_[qc1_[j]].set;
       for (QuorumId c = 0; c < quorums_.size(); ++c) {
-        const ProcessSet inter = q1q1 & quorums_[c].set;
+        const Set inter = q1q1 & quorums_[c].set;
         if (!adversary_.is_large(inter)) {
           ok = false;
-          out.violations.push_back(PropertyViolation{
+          out.violations.push_back(BasicPropertyViolation<Set>{
               .property = 2,
               .q_a = qc1_[i],
               .q_b = qc1_[j],
@@ -138,7 +151,9 @@ bool RefinedQuorumSystem::check_property2(CheckResult& out, std::size_t max) con
   return ok;
 }
 
-bool RefinedQuorumSystem::check_property3(CheckResult& out, std::size_t max) const {
+template <class Set>
+bool BasicRefinedQuorumSystem<Set>::check_property3(BasicCheckResult<Set>& out,
+                                                    std::size_t max) const {
   bool ok = true;
   // Per-(Q2, Q, B) disjunction; quantifying B over maximal elements only is
   // sound and complete because both disjuncts are antitone in B: shrinking
@@ -149,20 +164,20 @@ bool RefinedQuorumSystem::check_property3(CheckResult& out, std::size_t max) con
   // code materialized a fresh vector — C(n, k)-sized for threshold
   // adversaries — on every quorum pair. Threshold adversaries take the
   // analytic branch below and never need the view at all.
-  const std::span<const ProcessSet> maximal =
-      adversary_.is_threshold() ? std::span<const ProcessSet>{}
-                                : adversary_.maximal_view();
+  const std::span<const Set> maximal = adversary_.is_threshold()
+                                           ? std::span<const Set>{}
+                                           : adversary_.maximal_view();
   for (const QuorumId q2id : qc2_) {
-    const ProcessSet q2 = quorums_[q2id].set;
+    const Set q2 = quorums_[q2id].set;
     for (QuorumId qid = 0; qid < quorums_.size(); ++qid) {
-      const ProcessSet q = quorums_[qid].set;
+      const Set q = quorums_[qid].set;
       if (adversary_.is_threshold()) {
         // Analytic form (Section 2.1 of the paper): P3 holds for (Q2, Q)
         // iff |Q2 n Q| >= 2k+1, or QC1 is nonempty and every class 1
         // quorum satisfies |Q1 n Q2 n Q| >= k+1. Under the symmetric
         // threshold adversary this is equivalent to the per-B statement.
         const std::size_t k = adversary_.threshold_k();
-        const ProcessSet q2q = q2 & q;
+        const Set q2q = q2 & q;
         bool holds = q2q.size() >= 2 * k + 1;
         if (!holds && !qc1_.empty()) {
           holds = std::all_of(qc1_.begin(), qc1_.end(), [&](QuorumId q1) {
@@ -171,7 +186,7 @@ bool RefinedQuorumSystem::check_property3(CheckResult& out, std::size_t max) con
         }
         if (!holds) {
           ok = false;
-          out.violations.push_back(PropertyViolation{
+          out.violations.push_back(BasicPropertyViolation<Set>{
               .property = 3,
               .q_a = q2id,
               .q_b = qid,
@@ -186,10 +201,10 @@ bool RefinedQuorumSystem::check_property3(CheckResult& out, std::size_t max) con
         }
         continue;
       }
-      for (const ProcessSet b : maximal) {
+      for (const Set b : maximal) {
         if (p3a(q2, q, b) || p3b(q2, q, b)) continue;
         ok = false;
-        out.violations.push_back(PropertyViolation{
+        out.violations.push_back(BasicPropertyViolation<Set>{
             .property = 3,
             .q_a = q2id,
             .q_b = qid,
@@ -206,7 +221,8 @@ bool RefinedQuorumSystem::check_property3(CheckResult& out, std::size_t max) con
   return ok;
 }
 
-bool RefinedQuorumSystem::check_property3_conference() const {
+template <class Set>
+bool BasicRefinedQuorumSystem<Set>::check_property3_conference() const {
   // Disjunction outside the quantifier over B (the PODC'07 statement,
   // corrected by the journal revision): for every (Q2, Q), either P3a holds
   // for ALL B, or P3b holds for ALL B.
@@ -214,14 +230,14 @@ bool RefinedQuorumSystem::check_property3_conference() const {
   // As in check_property3, the maximal-element view is hoisted out of the
   // loops; for threshold adversaries it is materialized once into the
   // adversary's cache instead of once per (Q2, Q) pair.
-  const std::span<const ProcessSet> maximal = adversary_.maximal_view();
+  const std::span<const Set> maximal = adversary_.maximal_view();
   for (const QuorumId q2id : qc2_) {
-    const ProcessSet q2 = quorums_[q2id].set;
+    const Set q2 = quorums_[q2id].set;
     for (QuorumId qid = 0; qid < quorums_.size(); ++qid) {
-      const ProcessSet q = quorums_[qid].set;
+      const Set q = quorums_[qid].set;
       bool all_a = true;
       bool all_b = true;
-      for (const ProcessSet b : maximal) {
+      for (const Set b : maximal) {
         all_a = all_a && p3a(q2, q, b);
         all_b = all_b && p3b(q2, q, b);
         if (!all_a && !all_b) return false;
@@ -231,14 +247,17 @@ bool RefinedQuorumSystem::check_property3_conference() const {
   return true;
 }
 
-CheckResult RefinedQuorumSystem::check(std::size_t max_violations) const {
+template <class Set>
+BasicCheckResult<Set> BasicRefinedQuorumSystem<Set>::check(
+    std::size_t max_violations) const {
   // Routed through the cached check engine; the check_property* members
   // above stay as the naive reference oracle the engine is differentially
   // tested against (tests/check_engine_test.cpp).
-  return CheckEngine{*this}.check(max_violations);
+  return BasicCheckEngine<Set>{*this}.check(max_violations);
 }
 
-std::string RefinedQuorumSystem::to_string() const {
+template <class Set>
+std::string BasicRefinedQuorumSystem<Set>::to_string() const {
   std::string out = "RQS over " + adversary_.to_string() + "\n";
   for (QuorumId id = 0; id < quorums_.size(); ++id) {
     out += "  Q" + std::to_string(id) + " = " + quorums_[id].set.to_string() +
@@ -246,5 +265,12 @@ std::string RefinedQuorumSystem::to_string() const {
   }
   return out;
 }
+
+template struct BasicPropertyViolation<ProcessSet>;
+template struct BasicPropertyViolation<WideProcessSet>;
+template struct BasicCheckResult<ProcessSet>;
+template struct BasicCheckResult<WideProcessSet>;
+template class BasicRefinedQuorumSystem<ProcessSet>;
+template class BasicRefinedQuorumSystem<WideProcessSet>;
 
 }  // namespace rqs

@@ -21,6 +21,12 @@
 // Quorums are identified by their index in the quorum list (QuorumId);
 // both protocols ship quorum ids inside messages (the paper's QC'2 sets),
 // so stable ids are part of the public API.
+//
+// Everything here is templated on the process-set width. The protocol
+// layers use the historical aliases (Quorum, RefinedQuorumSystem, ... =
+// the BasicProcessSet<1> instantiations); the Wide* aliases carry the same
+// machinery to universes of up to 256 processes for the analysis and
+// hierarchical-construction paths.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +39,7 @@
 
 namespace rqs {
 
-/// Index of a quorum within a RefinedQuorumSystem.
+/// Index of a quorum within a refined quorum system.
 using QuorumId = std::uint32_t;
 
 inline constexpr QuorumId kInvalidQuorum = static_cast<QuorumId>(-1);
@@ -52,50 +58,64 @@ enum class QuorumClass : std::uint8_t { Class1 = 1, Class2 = 2, Class3 = 3 };
 }
 
 /// One annotated quorum.
-struct Quorum {
-  ProcessSet set;
+template <class Set>
+struct BasicQuorum {
+  Set set;
   QuorumClass cls{QuorumClass::Class3};
 };
 
 /// A violation of one of the three properties, with the witnesses that
 /// falsify it; to_string() renders a human-readable diagnosis.
-struct PropertyViolation {
+template <class Set>
+struct BasicPropertyViolation {
   int property{0};            // 1, 2 or 3
   QuorumId q_a{kInvalidQuorum};   // P1: Q     P2: Q1     P3: Q2
   QuorumId q_b{kInvalidQuorum};   // P1: Q'    P2: Q1'    P3: Q
   QuorumId q_c{kInvalidQuorum};   // P2/P3: the third quorum Q / witness Q1
-  ProcessSet b1;              // offending adversary element
-  ProcessSet b2;              // second element (P2 only)
+  Set b1;                     // offending adversary element
+  Set b2;                     // second element (P2 only)
   std::string detail;
 
   [[nodiscard]] std::string to_string() const;
 };
 
 /// Outcome of checking a refined quorum system against its adversary.
-struct CheckResult {
-  std::vector<PropertyViolation> violations;
+template <class Set>
+struct BasicCheckResult {
+  std::vector<BasicPropertyViolation<Set>> violations;
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   [[nodiscard]] std::string to_string() const;
 };
 
-class RefinedQuorumSystem {
+template <class Set>
+class BasicRefinedQuorumSystem {
  public:
+  using SetType = Set;
+  using QuorumType = BasicQuorum<Set>;
+
   /// Builds a refined quorum system over `adversary.universe_size()`
   /// processes. Quorum classes must already be nested in the input in the
   /// sense that any class assignment is legal syntax; whether the
   /// *properties* hold is reported by check(). Duplicate process sets are
   /// allowed (the paper never forbids them) but usually undesirable.
-  RefinedQuorumSystem(Adversary adversary, std::vector<Quorum> quorums);
+  BasicRefinedQuorumSystem(BasicAdversary<Set> adversary,
+                           std::vector<BasicQuorum<Set>> quorums);
 
-  [[nodiscard]] const Adversary& adversary() const noexcept { return adversary_; }
+  [[nodiscard]] const BasicAdversary<Set>& adversary() const noexcept {
+    return adversary_;
+  }
   [[nodiscard]] std::size_t universe_size() const noexcept {
     return adversary_.universe_size();
   }
 
   [[nodiscard]] std::size_t quorum_count() const noexcept { return quorums_.size(); }
-  [[nodiscard]] const Quorum& quorum(QuorumId id) const { return quorums_.at(id); }
-  [[nodiscard]] ProcessSet quorum_set(QuorumId id) const { return quorums_.at(id).set; }
-  [[nodiscard]] std::span<const Quorum> quorums() const noexcept { return quorums_; }
+  [[nodiscard]] const BasicQuorum<Set>& quorum(QuorumId id) const {
+    return quorums_.at(id);
+  }
+  [[nodiscard]] Set quorum_set(QuorumId id) const { return quorums_.at(id).set; }
+  [[nodiscard]] std::span<const BasicQuorum<Set>> quorums() const noexcept {
+    return quorums_;
+  }
 
   /// Ids of quorums of class <= c (remember class 1 quorums are class 2
   /// quorums are class 3 quorums).
@@ -115,34 +135,34 @@ class RefinedQuorumSystem {
   }
 
   /// First quorum id whose process set equals `s`, if any.
-  [[nodiscard]] std::optional<QuorumId> find(ProcessSet s) const;
+  [[nodiscard]] std::optional<QuorumId> find(Set s) const;
 
   /// First quorum (of any class) fully contained in the `alive` set, if
   /// any; protocols use this to ask "is some quorum entirely correct?".
   /// When several qualify, the best (lowest) class wins.
-  [[nodiscard]] std::optional<QuorumId> best_available(ProcessSet alive) const;
+  [[nodiscard]] std::optional<QuorumId> best_available(Set alive) const;
 
   /// The paper's P3a(Q2, Q, B): Q2 n Q \ B is not in B.
-  [[nodiscard]] bool p3a(ProcessSet q2, ProcessSet q, ProcessSet b) const;
+  [[nodiscard]] bool p3a(Set q2, Set q, Set b) const;
 
   /// The paper's P3b(Q2, Q, B): QC1 is nonempty and Q1 n Q2 n Q \ B is
   /// nonempty for every class 1 quorum Q1.
-  [[nodiscard]] bool p3b(ProcessSet q2, ProcessSet q, ProcessSet b) const;
+  [[nodiscard]] bool p3b(Set q2, Set q, Set b) const;
 
   /// Full property check (Definition 2). Stops after `max_violations`
   /// findings (0 = collect everything). Routed through CheckEngine
   /// (core/check_engine.hpp), which precomputes per-system state; callers
   /// that check one system repeatedly should build a CheckEngine themselves
   /// and reuse it across calls.
-  [[nodiscard]] CheckResult check(std::size_t max_violations = 1) const;
+  [[nodiscard]] BasicCheckResult<Set> check(std::size_t max_violations = 1) const;
 
   /// The naive per-property checkers. These are the *reference oracle*:
   /// straight transcriptions of Definition 2 with no caching, against which
   /// CheckEngine is differentially tested. Prefer check()/valid() (engine-
   /// backed) in production paths.
-  [[nodiscard]] bool check_property1(CheckResult& out, std::size_t max) const;
-  [[nodiscard]] bool check_property2(CheckResult& out, std::size_t max) const;
-  [[nodiscard]] bool check_property3(CheckResult& out, std::size_t max) const;
+  [[nodiscard]] bool check_property1(BasicCheckResult<Set>& out, std::size_t max) const;
+  [[nodiscard]] bool check_property2(BasicCheckResult<Set>& out, std::size_t max) const;
+  [[nodiscard]] bool check_property3(BasicCheckResult<Set>& out, std::size_t max) const;
 
   /// The erroneous conference-version Property 3 (disjunction outside the
   /// quantifier over B): for all Q2, Q: (for all B: P3a) or (for all B:
@@ -156,11 +176,32 @@ class RefinedQuorumSystem {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  Adversary adversary_;
-  std::vector<Quorum> quorums_;
+  BasicAdversary<Set> adversary_;
+  std::vector<BasicQuorum<Set>> quorums_;
   std::vector<QuorumId> qc1_;
   std::vector<QuorumId> qc2_;
   std::vector<std::vector<QuorumId>> quorums_containing_;  // by ProcessId
 };
+
+/// Protocol-width aliases (universes up to 64 processes) — the historical
+/// names every protocol-layer call site uses.
+using Quorum = BasicQuorum<ProcessSet>;
+using PropertyViolation = BasicPropertyViolation<ProcessSet>;
+using CheckResult = BasicCheckResult<ProcessSet>;
+using RefinedQuorumSystem = BasicRefinedQuorumSystem<ProcessSet>;
+
+/// Analysis-width aliases (universes up to 256 processes).
+using WideQuorum = BasicQuorum<WideProcessSet>;
+using WidePropertyViolation = BasicPropertyViolation<WideProcessSet>;
+using WideCheckResult = BasicCheckResult<WideProcessSet>;
+using WideRefinedQuorumSystem = BasicRefinedQuorumSystem<WideProcessSet>;
+
+// Instantiated once in rqs.cpp for the two supported widths.
+extern template struct BasicPropertyViolation<ProcessSet>;
+extern template struct BasicPropertyViolation<WideProcessSet>;
+extern template struct BasicCheckResult<ProcessSet>;
+extern template struct BasicCheckResult<WideProcessSet>;
+extern template class BasicRefinedQuorumSystem<ProcessSet>;
+extern template class BasicRefinedQuorumSystem<WideProcessSet>;
 
 }  // namespace rqs

@@ -110,7 +110,8 @@ ScenarioSpec ScenarioGenerator::generate(std::uint64_t seed) const {
   if (spec.protocol == Protocol::kStorage) {
     if (opts_.max_keys > 1) {
       // Clamp to the client-id layout capacity: ids 40 + key*(1+readers)
-      // must stay below ProcessSet::kMaxProcesses = 64.
+      // must stay below ProcessSet::kMaxProcesses = 64 (the scenario layer
+      // drives protocol-width harnesses; wider universes are analysis-only).
       const std::size_t fit =
           (ProcessSet::kMaxProcesses - storage::kWriterId) /
           (1 + spec.reader_count);

@@ -249,8 +249,11 @@ class Simulation {
   MessagePool pool_;  // declared before queue_: events release refs first
   EventHeap queue_;
   // Dense per-process state. ProcessIds are small and contiguous in every
-  // harness (ProcessSet caps them at 64), so vectors keyed by id beat maps
-  // on the delivery hot path; slots for unregistered ids stay null/false.
+  // harness: the simulator is 1-word by construction (ids < 64, the
+  // protocol width of the process_set.hpp width-selection rule — wider
+  // BasicProcessSet widths are analysis-only and never enter the sim), so
+  // vectors keyed by id beat maps on the delivery hot path; slots for
+  // unregistered ids stay null/false.
   std::vector<Process*> processes_;
   std::vector<std::uint8_t> crashed_;
   // Timer slots, recycled through a free list; TimerId = (gen << 32)|slot.

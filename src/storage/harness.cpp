@@ -22,8 +22,9 @@ StorageCluster::StorageCluster(RefinedQuorumSystem rqs,
     }
   }
   // Hard runtime check (not an assert: Release builds must diagnose this
-  // too) — client ids share the ProcessSet id space with servers, and an
-  // id >= kMaxProcesses would shift out of the 64-bit set mask.
+  // too) — client ids share the ProcessSet id space with servers. An id
+  // >= kMaxProcesses would trap in the process-set bounds guard; failing
+  // here instead names the misconfiguration rather than aborting.
   if (cfg.key_count < 1 ||
       writer_client_id(static_cast<ObjectId>(cfg.key_count), cfg.reader_count) >
           ProcessSet::kMaxProcesses) {

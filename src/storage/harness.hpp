@@ -22,8 +22,10 @@
 namespace rqs::storage {
 
 // Client process ids. They share the ProcessSet id space with servers
-// (ids 0..n-1), so they must stay below ProcessSet::kMaxProcesses = 64;
-// network scripting addresses clients through ProcessSet rules. Clients
+// (ids 0..n-1), so they must stay below ProcessSet::kMaxProcesses = 64 —
+// the storage layer is 1-word (protocol width) by construction; see the
+// width-selection rule in common/process_set.hpp. Network scripting
+// addresses clients through ProcessSet rules. Clients
 // are laid out in per-key blocks of (1 + reader_count) ids starting at
 // kWriterId, so a single-key cluster keeps the historical layout
 // (writer 40, readers 41, 42, ...).

@@ -1,0 +1,175 @@
+// Differential tests: the WideProcessSet instantiation of the core layer
+// must agree with the protocol-width instantiation on every universe both
+// can represent (n <= 64). Constructions, Definition 2 checks,
+// classification, availability and the Definition 5 predicates are compared
+// verdict-for-verdict.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/analysis.hpp"
+#include "core/classification.hpp"
+#include "core/constructions.hpp"
+#include "core/rqs.hpp"
+
+namespace rqs {
+namespace {
+
+WideProcessSet widen(const ProcessSet& s) {
+  WideProcessSet out;
+  for (const ProcessId id : s) out.insert(id);
+  return out;
+}
+
+/// Same system at both widths? Compares quorum sets/classes, check()
+/// verdicts (violation by violation), and exact availability.
+void expect_equivalent(const RefinedQuorumSystem& narrow,
+                       const WideRefinedQuorumSystem& wide) {
+  ASSERT_EQ(narrow.universe_size(), wide.universe_size());
+  ASSERT_EQ(narrow.quorum_count(), wide.quorum_count());
+  for (QuorumId id = 0; id < narrow.quorum_count(); ++id) {
+    EXPECT_EQ(widen(narrow.quorum_set(id)), wide.quorum_set(id)) << id;
+    EXPECT_EQ(narrow.quorum(id).cls, wide.quorum(id).cls) << id;
+  }
+  EXPECT_EQ(narrow.class1_ids(), wide.class1_ids());
+  EXPECT_EQ(narrow.class2_ids(), wide.class2_ids());
+
+  const CheckResult nres = narrow.check(0);
+  const WideCheckResult wres = wide.check(0);
+  ASSERT_EQ(nres.violations.size(), wres.violations.size())
+      << "narrow: " << nres.to_string() << "\nwide: " << wres.to_string();
+  for (std::size_t i = 0; i < nres.violations.size(); ++i) {
+    EXPECT_EQ(nres.violations[i].property, wres.violations[i].property);
+    EXPECT_EQ(nres.violations[i].q_a, wres.violations[i].q_a);
+    EXPECT_EQ(nres.violations[i].q_b, wres.violations[i].q_b);
+    EXPECT_EQ(nres.violations[i].q_c, wres.violations[i].q_c);
+    EXPECT_EQ(widen(nres.violations[i].b1), wres.violations[i].b1);
+    EXPECT_EQ(widen(nres.violations[i].b2), wres.violations[i].b2);
+  }
+  EXPECT_EQ(narrow.check_property3_conference(), wide.check_property3_conference());
+
+  if (narrow.universe_size() <= 12) {
+    for (const double p : {0.0, 0.05, 0.3, 1.0}) {
+      for (const QuorumClass cls :
+           {QuorumClass::Class1, QuorumClass::Class2, QuorumClass::Class3}) {
+        EXPECT_NEAR(availability(narrow, p, cls), availability(wide, p, cls),
+                    1e-9)
+            << "p=" << p;
+      }
+    }
+    EXPECT_NEAR(load_lower_bound(narrow), load_lower_bound(wide), 1e-12);
+    EXPECT_NEAR(load_of(narrow, uniform_strategy(narrow)),
+                load_of(wide, uniform_strategy(wide)), 1e-12);
+  }
+}
+
+TEST(CoreWideDifferential, PaperConstructionsAgree) {
+  expect_equivalent(make_fig3_example(), make_fig3_example<WideProcessSet>());
+  expect_equivalent(make_example7(), make_example7<WideProcessSet>());
+  expect_equivalent(make_fig1_fast5(), make_fig1_fast5<WideProcessSet>());
+  expect_equivalent(make_fig1_broken5(), make_fig1_broken5<WideProcessSet>());
+  expect_equivalent(make_3t1_instantiation(2),
+                    make_3t1_instantiation<WideProcessSet>(2));
+  expect_equivalent(make_crash_majority(5),
+                    make_crash_majority<WideProcessSet>(5));
+  expect_equivalent(make_byzantine_third(7),
+                    make_byzantine_third<WideProcessSet>(7));
+  expect_equivalent(make_masking(9, 1, 2), make_masking<WideProcessSet>(9, 1, 2));
+}
+
+TEST(CoreWideDifferential, ThresholdSweepAgrees) {
+  // Valid and invalid parameterizations alike: the wide check must find the
+  // same violations, not merely the same verdict.
+  const ThresholdParams params[] = {
+      {7, 1, 2, 1, 0, true, true},    // graded, valid
+      {9, 2, 2, 2, 0, true, true},    // 3t+1 shape
+      {6, 1, 2, 2, 1, true, true},    // P2/P3 fail (n too small)
+      {5, 1, 2, 2, 2, true, true},    // badly infeasible
+      {7, 2, 2, 0, 0, false, false},  // dissemination (no classes)
+  };
+  for (const ThresholdParams& p : params) {
+    expect_equivalent(make_threshold_rqs(p), make_threshold_rqs<WideProcessSet>(p));
+  }
+}
+
+TEST(CoreWideDifferential, AdversaryPredicatesAgree) {
+  Rng rng{99};
+  const Adversary narrow_thr = Adversary::threshold(24, 3);
+  const WideAdversary wide_thr = WideAdversary::threshold(24, 3);
+  std::vector<ProcessSet> elems;
+  for (int i = 0; i < 6; ++i) {
+    ProcessSet e;
+    for (int j = 0; j < 4; ++j) e.insert(static_cast<ProcessId>(rng.uniform(0, 23)));
+    elems.push_back(e);
+  }
+  std::vector<WideProcessSet> wide_elems;
+  for (const ProcessSet& e : elems) wide_elems.push_back(widen(e));
+  const Adversary narrow_gen{24, elems};
+  const WideAdversary wide_gen{24, wide_elems};
+
+  for (int trial = 0; trial < 500; ++trial) {
+    ProcessSet x;
+    const int len = static_cast<int>(rng.uniform(0, 10));
+    for (int j = 0; j < len; ++j) x.insert(static_cast<ProcessId>(rng.uniform(0, 23)));
+    const WideProcessSet wx = widen(x);
+    EXPECT_EQ(narrow_thr.contains(x), wide_thr.contains(wx)) << x.to_string();
+    EXPECT_EQ(narrow_thr.is_large(x), wide_thr.is_large(wx)) << x.to_string();
+    EXPECT_EQ(narrow_gen.contains(x), wide_gen.contains(wx)) << x.to_string();
+    EXPECT_EQ(narrow_gen.is_large(x), wide_gen.is_large(wx)) << x.to_string();
+  }
+}
+
+TEST(CoreWideDifferential, ClassificationAgrees) {
+  const auto narrow_sys = make_fig3_example();
+  const auto wide_sys = make_fig3_example<WideProcessSet>();
+  std::vector<ProcessSet> nq;
+  std::vector<WideProcessSet> wq;
+  for (QuorumId id = 0; id < narrow_sys.quorum_count(); ++id) {
+    nq.push_back(narrow_sys.quorum_set(id));
+    wq.push_back(wide_sys.quorum_set(id));
+  }
+  const ClassificationResult nr = classify(nq, narrow_sys.adversary());
+  const ClassificationResult wr = classify(wq, wide_sys.adversary());
+  EXPECT_EQ(nr.property1_ok, wr.property1_ok);
+  EXPECT_EQ(nr.classes, wr.classes);
+  EXPECT_EQ(nr.class1_count, wr.class1_count);
+  EXPECT_EQ(nr.class2_count, wr.class2_count);
+  EXPECT_EQ(count_classifications(nq, narrow_sys.adversary()),
+            count_classifications(wq, wide_sys.adversary()));
+  EXPECT_EQ(
+      count_p1_collections(4, Adversary::threshold(4, 1), 2),
+      count_p1_collections(4, WideAdversary::threshold(4, 1), 2));
+}
+
+TEST(CoreWideDifferential, WideBeyondSixtyFourSmoke) {
+  // Sanity that genuinely wide universes work end to end: a 100-process
+  // threshold adversary answers Definition 5 queries analytically, and a
+  // hand-built wide system over ids straddling word boundaries checks out.
+  const WideAdversary adv = WideAdversary::threshold(100, 33);
+  EXPECT_TRUE(adv.contains(WideProcessSet::universe(33)));
+  EXPECT_FALSE(adv.contains(WideProcessSet::universe(34)));
+  EXPECT_FALSE(adv.is_large(WideProcessSet::universe(66)));
+  EXPECT_TRUE(adv.is_large(WideProcessSet::universe(67)));
+
+  // 100-process "crash majority": quorums = three fixed 51-subsets.
+  std::vector<WideQuorum> quorums;
+  for (int shift = 0; shift < 3; ++shift) {
+    WideProcessSet q;
+    for (int i = 0; i < 51; ++i) {
+      q.insert(static_cast<ProcessId>((i + shift * 20) % 100));
+    }
+    quorums.push_back(WideQuorum{q, QuorumClass::Class3});
+  }
+  const WideRefinedQuorumSystem sys{WideAdversary::threshold(100, 0),
+                                    std::move(quorums)};
+  EXPECT_TRUE(sys.check(0).ok());  // majorities pairwise intersect; B = {{}}
+  Rng rng{5};
+  const double a = availability_sampled(sys, 0.01, 2000, rng);
+  EXPECT_GT(a, 0.5);
+  EXPECT_LE(a, 1.0);
+}
+
+}  // namespace
+}  // namespace rqs

@@ -1,0 +1,178 @@
+// Hierarchical RQS: structural sufficient conditions versus the flat
+// Definition 2 checker (differential on universes both can represent),
+// composite materialization, product-adversary flattening, sampled
+// availability, and the 256-process smoke path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/check_engine.hpp"
+#include "core/classification.hpp"
+#include "core/hierarchy.hpp"
+
+namespace rqs {
+namespace {
+
+// 3 crash-tolerant clusters of 3 (9 processes): every layer is the
+// Example 5/6 threshold family with k = 0, t = r = 1, q = 0.
+constexpr ThresholdParams kCrashLayer{3, 0, 1, 1, 0, true, true};
+
+// Byzantine inner layer with empty quorum classes (Example 4
+// dissemination): strong P3 is vacuous, so composition only needs P1.
+constexpr ThresholdParams kDissemInner{4, 1, 1, 0, 0, false, false};
+
+/// Flattens the hierarchy at protocol width and checks the composite
+/// system (all quorums materialized) against the flat Definition 2 checker.
+CheckResult flat_check(const HierarchicalRqs& h) {
+  auto adv = h.flatten_adversary<ProcessSet>(1u << 20);
+  EXPECT_TRUE(adv.has_value());
+  auto quorums = h.materialize_quorums<ProcessSet>(0);
+  const RefinedQuorumSystem flat{std::move(*adv), std::move(quorums)};
+  return flat.check(0);
+}
+
+TEST(Hierarchy, CrashHierarchyStructurallyAndFlatlyValid) {
+  const HierarchicalRqs h = make_hierarchical_threshold(kCrashLayer, kCrashLayer);
+  EXPECT_EQ(h.total_processes(), 9u);
+  EXPECT_EQ(h.cluster_count(), 3u);
+  EXPECT_EQ(h.offset(2), 6u);
+  const HierarchicalCheckResult res = h.check();
+  EXPECT_TRUE(res.ok()) << res.to_string();
+
+  // Composite count: top quorums {3 pairs, 1 triple} x 4 inner quorums per
+  // engaged cluster = 3*16 + 64.
+  EXPECT_EQ(h.composite_quorum_count(), 112u);
+  const auto quorums = h.materialize_quorums<ProcessSet>(0);
+  EXPECT_EQ(quorums.size(), 112u);
+
+  // Sufficiency: the structural conditions imply the flat system checks.
+  const CheckResult flat = flat_check(h);
+  EXPECT_TRUE(flat.ok()) << flat.to_string();
+}
+
+TEST(Hierarchy, ByzantineDisseminationComposesOnPropertyOne) {
+  const HierarchicalRqs h = make_hierarchical_threshold(kCrashLayer, kDissemInner);
+  EXPECT_EQ(h.total_processes(), 12u);
+  const HierarchicalCheckResult res = h.check();
+  EXPECT_TRUE(res.ok()) << res.to_string();
+  // Inner classes are empty, so every composite quorum is class 3 and the
+  // flat check reduces to P1 under the flattened product adversary (one
+  // singleton per free cluster here: 4^3 maximal elements).
+  const auto adv = h.flatten_adversary<ProcessSet>(1u << 20);
+  ASSERT_TRUE(adv.has_value());
+  EXPECT_EQ(adv->maximal_elements().size(), 64u);
+  const CheckResult flat = flat_check(h);
+  EXPECT_TRUE(flat.ok()) << flat.to_string();
+}
+
+TEST(Hierarchy, BrokenTopPropertyOneSurfacesBothWays) {
+  // Top threshold {n=3, k=1, t=1}: violates |S| > 2t + k, so top P1 fails.
+  const ThresholdParams broken_top{3, 1, 1, 1, 0, true, true};
+  const HierarchicalRqs h = make_hierarchical_threshold(broken_top, kCrashLayer);
+  const HierarchicalCheckResult res = h.check();
+  EXPECT_FALSE(res.ok());
+  EXPECT_FALSE(res.top.ok());
+  bool top_p1 = false;
+  for (const PropertyViolation& v : res.top.violations) top_p1 |= v.property == 1;
+  EXPECT_TRUE(top_p1) << res.top.to_string();
+
+  // Exactness of the translation: the same failure appears as a flat P1
+  // violation of the composite system.
+  const CheckResult flat = flat_check(h);
+  ASSERT_FALSE(flat.ok());
+  bool flat_p1 = false;
+  for (const PropertyViolation& v : flat.violations) flat_p1 |= v.property == 1;
+  EXPECT_TRUE(flat_p1) << flat.to_string();
+}
+
+TEST(Hierarchy, HeterogeneousClusterSizes) {
+  // Clusters of 3, 4 and 5 crash-prone processes under a majority-style
+  // inner family each; offsets must pack them contiguously.
+  std::vector<RefinedQuorumSystem> inner;
+  inner.push_back(make_threshold_rqs({3, 0, 1, 1, 0, true, true}));
+  inner.push_back(make_threshold_rqs({4, 0, 1, 1, 0, true, true}));
+  inner.push_back(make_threshold_rqs({5, 0, 2, 2, 0, true, true}));
+  const HierarchicalRqs h{make_threshold_rqs(kCrashLayer), std::move(inner)};
+  EXPECT_EQ(h.total_processes(), 12u);
+  EXPECT_EQ(h.offset(0), 0u);
+  EXPECT_EQ(h.offset(1), 3u);
+  EXPECT_EQ(h.offset(2), 7u);
+  const HierarchicalCheckResult res = h.check();
+  EXPECT_TRUE(res.ok()) << res.to_string();
+  const CheckResult flat = flat_check(h);
+  EXPECT_TRUE(flat.ok()) << flat.to_string();
+}
+
+TEST(Hierarchy, WeakInnerP3IsReported) {
+  // Inner {n=4, k=1, t=1, r=1}: Definition 2 holds per cluster, but strong
+  // P3 needs |Q2 n Q| >= 2k+1 = 3 while two 3-subsets of 4 can share only
+  // 2 — the structural check must flag the cluster rather than pass.
+  const ThresholdParams weak_inner{4, 1, 1, 1, 0, true, true};
+  ASSERT_TRUE(ThresholdBounds::all(weak_inner));
+  const HierarchicalRqs h = make_hierarchical_threshold(kCrashLayer, weak_inner);
+  const HierarchicalCheckResult res = h.check();
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(res.top.ok());
+  EXPECT_EQ(res.weak_p3_clusters.size(), 3u);
+}
+
+TEST(Hierarchy, DegenerateInnerAdversaryIsReported) {
+  // An inner cluster whose adversary is none() (B = {}) breaks the product
+  // adversary (an all-correct cluster would be illegal).
+  std::vector<RefinedQuorumSystem> inner;
+  inner.push_back(make_threshold_rqs(kCrashLayer));
+  inner.push_back(make_threshold_rqs(kCrashLayer));
+  inner.push_back(RefinedQuorumSystem{
+      Adversary::none(3),
+      {Quorum{ProcessSet{0, 1}, QuorumClass::Class3},
+       Quorum{ProcessSet{1, 2}, QuorumClass::Class3}}});
+  const HierarchicalRqs h{make_threshold_rqs(kCrashLayer), std::move(inner)};
+  const HierarchicalCheckResult res = h.check();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.degenerate_clusters, std::vector<std::size_t>{2});
+}
+
+TEST(Hierarchy, SampledAvailabilityBoundaries) {
+  const HierarchicalRqs h = make_hierarchical_threshold(kCrashLayer, kCrashLayer);
+  Rng rng{42};
+  EXPECT_DOUBLE_EQ(h.availability_sampled(0.0, 200, rng), 1.0);
+  EXPECT_DOUBLE_EQ(h.availability_sampled(1.0, 200, rng), 0.0);
+  const double mid = h.availability_sampled(0.1, 4000, rng);
+  EXPECT_GT(mid, 0.5);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(Hierarchy, TwoHundredFiftySixProcessSmoke) {
+  // 16 clusters x 16 processes, Byzantine threshold at both layers.
+  const ThresholdParams layer{16, 2, 2, 2, 0, true, true};
+  ASSERT_TRUE(ThresholdBounds::all(layer));
+  const HierarchicalRqs h = make_hierarchical_threshold(layer, layer);
+  EXPECT_EQ(h.total_processes(), 256u);
+  const HierarchicalCheckResult res = h.check();
+  EXPECT_TRUE(res.ok()) << res.to_string();
+
+  // The composite family is astronomically large; materialization truncates
+  // and flattening declines.
+  EXPECT_EQ(h.composite_quorum_count(), kBinomialSaturated);
+  EXPECT_FALSE(h.flatten_adversary<WideProcessSet>(1000).has_value());
+  const auto wide = h.materialize_quorums<WideProcessSet>(8);
+  ASSERT_EQ(wide.size(), 8u);
+  for (const WideQuorum& q : wide) {
+    EXPECT_GE(q.set.size(), 14u * 14u);  // >= 14 clusters x >= 14 processes
+  }
+
+  // The wide engine digests materialized composite quorums directly.
+  std::vector<WideProcessSet> sets;
+  for (const WideQuorum& q : wide) sets.push_back(q.set);
+  const WideAdversary adv = WideAdversary::threshold(256, 2);
+  const ClassificationResult cls = classify(sets, adv);
+  EXPECT_TRUE(cls.property1_ok);
+
+  Rng rng{7};
+  const double avail = h.availability_sampled(0.005, 500, rng);
+  EXPECT_GT(avail, 0.5);
+}
+
+}  // namespace
+}  // namespace rqs

@@ -1,0 +1,34 @@
+// Planted width-templated TypedMessage declarations for rqs_lint's
+// `typed-message` rule. Before the template-argument-tolerant CRTP regex,
+// declarations like these were silently skipped by the linter, so a
+// templated message could evade the final/registry/layout checks entirely.
+// This file is a lint fixture only — it is never compiled or linked.
+#include <string_view>
+
+#include "sim/message.hpp"
+
+namespace rqs::lint_fixture {
+
+// Correct CRTP shape for a templated message — but unregistered and with
+// no RQS_MESSAGE_LAYOUT assert, so two findings on this line.
+template <class Set>
+struct WideProbeMsg final : sim::TypedMessage<WideProbeMsg<Set>> {  // EXPECT-LINT: typed-message, typed-message
+  Set members{};
+  [[nodiscard]] std::string_view tag() const override { return "WPROBE"; }
+};
+
+// Templated and not final: a further-derived instantiation would alias the
+// static id (plus the same unregistered/no-layout findings).
+template <class Set>
+struct OpenWideMsg : sim::TypedMessage<OpenWideMsg<Set>> {  // EXPECT-LINT: typed-message, typed-message, typed-message
+  [[nodiscard]] std::string_view tag() const override { return "WOPEN"; }
+};
+
+// CRTP argument names a different template: the id would lie about
+// identity regardless of the template arguments.
+template <class Set>
+struct MaskedWideMsg final : sim::TypedMessage<WideProbeMsg<Set>> {  // EXPECT-LINT: typed-message
+  [[nodiscard]] std::string_view tag() const override { return "WMASK"; }
+};
+
+}  // namespace rqs::lint_fixture

@@ -1,0 +1,87 @@
+// Regression tests for the hard out-of-range guards on process-set
+// operations (previously UB — a silent shift by >= 64 in Release builds)
+// and for binomial() exactness/saturation at large n.
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.hpp"
+#include "common/process_set.hpp"
+
+namespace rqs {
+namespace {
+
+TEST(ProcessSetGuardDeathTest, NarrowOutOfRangeAborts) {
+  ProcessSet s = ProcessSet::universe(64);
+  EXPECT_DEATH(s.insert(64), "out of range");
+  EXPECT_DEATH(s.erase(64), "out of range");
+  EXPECT_DEATH((void)s.contains(64), "out of range");
+  EXPECT_DEATH((void)ProcessSet::single(200), "out of range");
+  EXPECT_DEATH((void)ProcessSet::universe(65), "out of range");
+  EXPECT_DEATH((void)(ProcessSet{1, 2, 99}), "out of range");
+}
+
+TEST(ProcessSetGuardDeathTest, WideOutOfRangeAborts) {
+  WideProcessSet s = WideProcessSet::universe(256);
+  EXPECT_DEATH(s.insert(256), "out of range");
+  EXPECT_DEATH(s.erase(300), "out of range");
+  EXPECT_DEATH((void)s.contains(256), "out of range");
+  EXPECT_DEATH((void)WideProcessSet::single(256), "out of range");
+  EXPECT_DEATH((void)WideProcessSet::universe(257), "out of range");
+}
+
+TEST(ProcessSetGuard, BoundaryIdsStillLegal) {
+  ProcessSet n;
+  n.insert(63);
+  EXPECT_TRUE(n.contains(63));
+  WideProcessSet w;
+  w.insert(255);
+  EXPECT_TRUE(w.contains(255));
+  EXPECT_EQ(ProcessSet::universe(64).size(), 64u);
+  EXPECT_EQ(WideProcessSet::universe(256).size(), 256u);
+}
+
+/// Saturating Pascal-triangle oracle. Exact saturation detection: the true
+/// C(n, k) overflows uint64_t iff the checked sum of the (possibly
+/// saturated) subterms does.
+std::uint64_t pascal_oracle(std::size_t n, std::size_t k) {
+  std::vector<std::uint64_t> row{1};
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::vector<std::uint64_t> next(i + 1, 1);
+    for (std::size_t j = 1; j < i; ++j) {
+      const std::uint64_t a = row[j - 1];
+      const std::uint64_t b = row[j];
+      if (a == kBinomialSaturated || b == kBinomialSaturated ||
+          a > kBinomialSaturated - 1 - b) {
+        next[j] = kBinomialSaturated;
+      } else {
+        next[j] = a + b;
+      }
+    }
+    row = std::move(next);
+  }
+  return k < row.size() ? row[k] : 0;
+}
+
+TEST(Binomial, ExactUpTo256AgainstPascal) {
+  for (std::size_t n : {0u, 1u, 7u, 30u, 62u, 64u, 67u, 68u, 100u, 200u, 256u}) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), pascal_oracle(n, k)) << "C(" << n << "," << k << ")";
+    }
+  }
+}
+
+TEST(Binomial, KnownValuesAndSaturation) {
+  EXPECT_EQ(binomial(64, 32), 1832624140942590534ull);
+  EXPECT_EQ(binomial(62, 31), 465428353255261088ull);
+  EXPECT_EQ(binomial(256, 2), 32640ull);
+  EXPECT_EQ(binomial(256, 255), 256ull);
+  EXPECT_EQ(binomial(256, 128), kBinomialSaturated);
+  EXPECT_EQ(binomial(200, 100), kBinomialSaturated);
+  EXPECT_EQ(binomial(10, 20), 0ull);
+  // Before the 128-bit path, the multiply at n = 256 overflowed silently
+  // for k as small as 9; these must be exact now.
+  EXPECT_EQ(binomial(256, 9), 11288510714272000ull);
+  EXPECT_EQ(binomial(128, 10), 226846154180800ull);
+}
+
+}  // namespace
+}  // namespace rqs

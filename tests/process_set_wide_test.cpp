@@ -1,0 +1,166 @@
+// BasicProcessSet<4> (WideProcessSet) coverage: randomized algebra oracle
+// against std::set<ProcessId>, word-boundary behavior, cross-width
+// keep_maximal_sets, and the layout pins that guarantee ProcessSet stayed
+// byte-identical to the pre-template single-word representation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <type_traits>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/rng.hpp"
+
+namespace rqs {
+namespace {
+
+// ProcessSet must remain the exact POD the protocol message layouts budget
+// for: one 64-bit word, trivially copyable, no padding surprises.
+static_assert(sizeof(ProcessSet) == 8);
+static_assert(sizeof(WideProcessSet) == 32);
+static_assert(std::is_trivially_copyable_v<ProcessSet>);
+static_assert(std::is_trivially_copyable_v<WideProcessSet>);
+static_assert(ProcessSet::kMaxProcesses == 64);
+static_assert(WideProcessSet::kMaxProcesses == 256);
+
+std::vector<ProcessId> sorted(const std::set<ProcessId>& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(WideProcessSet, BasicsAcrossWordBoundaries) {
+  WideProcessSet s;
+  EXPECT_TRUE(s.empty());
+  for (ProcessId id : {0u, 63u, 64u, 127u, 128u, 191u, 192u, 255u}) {
+    s.insert(id);
+    EXPECT_TRUE(s.contains(id));
+  }
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.first(), 0u);
+  s.erase(0);
+  EXPECT_EQ(s.first(), 63u);
+  EXPECT_EQ(s.members(), (std::vector<ProcessId>{63, 64, 127, 128, 191, 192, 255}));
+  EXPECT_EQ(s.to_string(), "{63,64,127,128,191,192,255}");
+}
+
+TEST(WideProcessSet, UniverseSizesStraddlingWords) {
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 128u, 129u, 200u, 255u, 256u}) {
+    const WideProcessSet u = WideProcessSet::universe(n);
+    EXPECT_EQ(u.size(), n) << n;
+    if (n > 0) {
+      EXPECT_TRUE(u.contains(static_cast<ProcessId>(n - 1)));
+      EXPECT_EQ(u.first(), 0u);
+    }
+    if (n < 256) {
+      EXPECT_FALSE(u.contains(static_cast<ProcessId>(n)));
+    }
+    // Complement within the full universe flips exactly the other ids.
+    EXPECT_EQ(u.complement(256).size(), 256 - n);
+  }
+}
+
+TEST(WideProcessSet, OrderIsMostSignificantWordFirst) {
+  // {200} > {0..63 all set} because the higher word dominates.
+  const WideProcessSet hi = WideProcessSet::single(200);
+  const WideProcessSet lo = WideProcessSet::universe(64);
+  EXPECT_TRUE(lo < hi);
+  EXPECT_FALSE(hi < lo);
+  EXPECT_FALSE(hi < hi);
+}
+
+TEST(WideProcessSet, RandomizedAlgebraOracle) {
+  Rng rng{20260808};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::set<ProcessId> oa, ob;
+    WideProcessSet a, b;
+    for (int i = 0; i < 40; ++i) {
+      const auto ida = static_cast<ProcessId>(rng.uniform(0, 255));
+      const auto idb = static_cast<ProcessId>(rng.uniform(0, 255));
+      a.insert(ida);
+      oa.insert(ida);
+      b.insert(idb);
+      ob.insert(idb);
+    }
+    // Mirror a few erases.
+    for (int i = 0; i < 10; ++i) {
+      const auto id = static_cast<ProcessId>(rng.uniform(0, 255));
+      a.erase(id);
+      oa.erase(id);
+    }
+    std::set<ProcessId> o_and, o_or, o_diff;
+    std::set_intersection(oa.begin(), oa.end(), ob.begin(), ob.end(),
+                          std::inserter(o_and, o_and.end()));
+    std::set_union(oa.begin(), oa.end(), ob.begin(), ob.end(),
+                   std::inserter(o_or, o_or.end()));
+    std::set_difference(oa.begin(), oa.end(), ob.begin(), ob.end(),
+                        std::inserter(o_diff, o_diff.end()));
+    EXPECT_EQ((a & b).members(), sorted(o_and));
+    EXPECT_EQ((a | b).members(), sorted(o_or));
+    EXPECT_EQ((a - b).members(), sorted(o_diff));
+    EXPECT_EQ(a.size(), oa.size());
+    EXPECT_EQ(a.empty(), oa.empty());
+    EXPECT_EQ(a.subset_of(b),
+              std::includes(ob.begin(), ob.end(), oa.begin(), oa.end()));
+    EXPECT_EQ(a.intersects(b), !o_and.empty());
+    EXPECT_EQ(a.first(), oa.empty() ? kInvalidProcess : *oa.begin());
+    // Iteration yields exactly the oracle's members in increasing order.
+    EXPECT_EQ(a.members(), sorted(oa));
+    // Compound assignment mirrors the binary forms.
+    WideProcessSet c = a;
+    c &= b;
+    EXPECT_EQ(c, a & b);
+    c = a;
+    c |= b;
+    EXPECT_EQ(c, a | b);
+    c = a;
+    c -= b;
+    EXPECT_EQ(c, a - b);
+  }
+}
+
+TEST(WideProcessSet, KeepMaximalSetsMatchesNarrowOnSharedUniverse) {
+  // Build the same family at both widths (ids < 64) and check the filtered
+  // families coincide element-for-element.
+  Rng rng{7};
+  std::vector<ProcessSet> narrow;
+  std::vector<WideProcessSet> wide;
+  for (int i = 0; i < 60; ++i) {
+    ProcessSet ns;
+    WideProcessSet ws;
+    const int len = static_cast<int>(rng.uniform(0, 8));
+    for (int j = 0; j < len; ++j) {
+      const auto id = static_cast<ProcessId>(rng.uniform(0, 63));
+      ns.insert(id);
+      ws.insert(id);
+    }
+    narrow.push_back(ns);
+    wide.push_back(ws);
+  }
+  const std::vector<ProcessSet> nmax = keep_maximal_sets(std::move(narrow));
+  const std::vector<WideProcessSet> wmax = keep_maximal_sets(std::move(wide));
+  ASSERT_EQ(nmax.size(), wmax.size());
+  for (std::size_t i = 0; i < nmax.size(); ++i) {
+    EXPECT_EQ(nmax[i].members(), wmax[i].members()) << i;
+  }
+}
+
+TEST(WideProcessSet, KeepMaximalSetsAboveSixtyFour) {
+  const WideProcessSet big = WideProcessSet::universe(200);
+  const WideProcessSet mid = WideProcessSet::universe(100);
+  const WideProcessSet other{10, 250};
+  const auto out = keep_maximal_sets<4>({mid, other, big, mid});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], big);
+  EXPECT_EQ(out[1], other);
+}
+
+TEST(WideProcessSet, NarrowMaskRoundTripUnchanged) {
+  // The one-word API is untouched by the widening: from_mask/mask round-trip
+  // and match insertion order semantics.
+  const ProcessSet s = ProcessSet::from_mask(0b1010110ull);
+  EXPECT_EQ(s.mask(), 0b1010110ull);
+  EXPECT_EQ(s.members(), (std::vector<ProcessId>{1, 2, 4, 6}));
+}
+
+}  // namespace
+}  // namespace rqs

@@ -35,6 +35,11 @@ compiler warning enforces. This linter machine-checks them:
                   one concrete type), must carry an RQS_MESSAGE_LAYOUT
                   size-class assert, and must be listed in the collision-
                   checked registry (tests/message_registry_test.cpp).
+                  Templated declarations (`template <class Set> struct
+                  Foo final : TypedMessage<Foo<Set>>`) are matched too —
+                  the CRTP argument is compared by base name, so a
+                  width-templated message can neither evade the rule nor
+                  falsely trip it.
 
 Suppressions: a `// rqs-lint: allow(<rule>) <reason>` comment suppresses
 that rule on its own line, or on the next line when the marker line is
@@ -43,8 +48,10 @@ with a justification comment, never silently.
 
 File universe: translation units from compile_commands.json (pass
 --compile-commands or let it default to <root>/build/compile_commands.json)
-plus headers reachable through their quoted includes; falls back to walking
-src/ when no compilation database exists. Exit status 1 iff findings.
+plus headers reachable through their quoted includes, UNIONED with a walk
+of src/ — a header-only template included solely from tests or benches
+(e.g. a width-generic analysis header) is still linted. Falls back to the
+walk alone when no compilation database exists. Exit status 1 iff findings.
 """
 
 from __future__ import annotations
@@ -97,8 +104,12 @@ HOT_PATH_MARK = re.compile(r"^\s*//\s*rqs-hot-path\b")
 ALLOW_MARK = re.compile(r"//\s*rqs-lint:\s*allow\(([a-z\-, ]+)\)")
 COMMENT_ONLY = re.compile(r"^\s*(//|/\*|\*)")
 
+# The CRTP argument may itself carry template arguments (width-templated
+# messages: TypedMessage<Foo<Set>>); one non-nested <...> level suffices
+# for this tree and is compared by base name in check_typed_messages.
 TYPED_MESSAGE_DECL = re.compile(
-    r"struct\s+(\w+)\s*(final)?\s*:\s*(?:public\s+)?(?:rqs::)?(?:sim::)?TypedMessage<\s*(\w+)\s*>")
+    r"struct\s+(\w+)\s*(final)?\s*:\s*(?:public\s+)?(?:rqs::)?(?:sim::)?"
+    r"TypedMessage<\s*(\w+(?:\s*<[^<>]*>)?)\s*>")
 LAYOUT_ASSERT = re.compile(r"RQS_MESSAGE_LAYOUT\(\s*(\w+)\s*,")
 
 REGISTRY_FILE = "tests/message_registry_test.cpp"
@@ -275,7 +286,8 @@ def check_typed_messages(decls: list[tuple[Path, int, str, str | None, str]],
         registry_text = registry_path.read_text(encoding="utf-8")
     layout_asserted = set(LAYOUT_ASSERT.findall(universe_text))
     for path, lineno, name, final, crtp in decls:
-        if crtp != name:
+        crtp_base = crtp.split("<", 1)[0].strip()
+        if crtp_base != name:
             findings.append(Finding(
                 path, lineno, "typed-message",
                 f"{name} derives TypedMessage<{crtp}>: the CRTP argument "
@@ -382,10 +394,12 @@ def main(argv: list[str]) -> int:
         files = [p.resolve() for p in args.paths]
     else:
         cc = args.compile_commands or root / "build" / "compile_commands.json"
+        files = universe_from_walk(root)
         if cc.exists():
-            files = universe_from_compile_commands(cc, root)
-        else:
-            files = universe_from_walk(root)
+            # Union, not replacement: the walk catches header-only templates
+            # no src/ TU includes; the database closure catches generated or
+            # out-of-tree sources the walk cannot see.
+            files = sorted(set(files) | set(universe_from_compile_commands(cc, root)))
     if not files:
         print("rqs-lint: no files to lint", file=sys.stderr)
         return 2
