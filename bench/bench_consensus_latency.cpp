@@ -7,6 +7,7 @@
 #include "consensus/crash_paxos.hpp"
 #include "consensus/harness.hpp"
 #include "core/constructions.hpp"
+#include "obs/observer.hpp"
 
 namespace rqs::consensus {
 namespace {
@@ -76,24 +77,42 @@ void print_tables() {
   }
 }
 
+// Each iteration accumulates into a bench-owned observer; afterwards the
+// sim-time learn latency (each cluster proposes at t=0) is reported as
+// histogram percentiles. Observation is passive, so attaching the
+// observer cannot change what the iterations do.
+void report_learn_latency(benchmark::State& state, const rqs::obs::Observer& ob) {
+  const rqs::obs::MetricsSnapshot snap = ob.snapshot();
+  if (const auto* h = snap.histogram("consensus.learn.sim_time")) {
+    state.counters["sim_p50_us"] = static_cast<double>(h->percentile(50.0));
+    state.counters["sim_p99_us"] = static_cast<double>(h->percentile(99.0));
+  }
+}
+
 void BM_ConsensusBestCase(benchmark::State& state) {
+  rqs::obs::Observer ob;
   for (auto _ : state) {
     ConsensusCluster cluster(
         make_3t1_instantiation(static_cast<std::size_t>(state.range(0))), 1, 1);
+    cluster.sim().set_observer(&ob);
     cluster.propose(0, 7);
     benchmark::DoNotOptimize(cluster.run_until_learned());
   }
+  report_learn_latency(state, ob);
 }
 BENCHMARK(BM_ConsensusBestCase)->Arg(1)->Arg(2);
 
 void BM_ConsensusWithByzantineAcceptor(benchmark::State& state) {
+  rqs::obs::Observer ob;
   for (auto _ : state) {
     ConsensusCluster cluster(
         make_3t1_instantiation(static_cast<std::size_t>(state.range(0))), 1, 1,
         ProcessSet{0}, -5);
+    cluster.sim().set_observer(&ob);
     cluster.propose(0, 7);
     benchmark::DoNotOptimize(cluster.run_until_learned());
   }
+  report_learn_latency(state, ob);
 }
 BENCHMARK(BM_ConsensusWithByzantineAcceptor)->Arg(1)->Arg(2);
 

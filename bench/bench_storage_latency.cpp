@@ -5,6 +5,7 @@
 // the microbenchmarks measure simulated operations per second.
 #include "bench/bench_util.hpp"
 #include "core/constructions.hpp"
+#include "obs/observer.hpp"
 #include "storage/harness.hpp"
 
 namespace rqs::storage {
@@ -55,15 +56,31 @@ void print_tables() {
                   make_disseminating(5, 1, 1), {}, "3/3"});
 }
 
+// Sim-time percentiles of the operation latency histograms the protocol
+// instrumentation records (reader/writer measure start-to-finish per op).
+void report_op_latency(benchmark::State& state, const rqs::obs::Observer& ob) {
+  const rqs::obs::MetricsSnapshot snap = ob.snapshot();
+  if (const auto* h = snap.histogram("storage.write.sim_time")) {
+    state.counters["write_sim_p50_us"] = static_cast<double>(h->percentile(50.0));
+    state.counters["write_sim_p99_us"] = static_cast<double>(h->percentile(99.0));
+  }
+  if (const auto* h = snap.histogram("storage.read.sim_time")) {
+    state.counters["read_sim_p50_us"] = static_cast<double>(h->percentile(50.0));
+    state.counters["read_sim_p99_us"] = static_cast<double>(h->percentile(99.0));
+  }
+}
+
 // Fresh cluster per iteration (10 op pairs each): servers keep the whole
 // history (Section 5), so a shared cluster would slow down over time.
 void BM_WriteReadBestCase(benchmark::State& state) {
+  rqs::obs::Observer ob;
   RoundNumber write_rounds = 0;
   RoundNumber read_rounds = 0;
   for (auto _ : state) {
     StorageCluster cluster(make_3t1_instantiation(
                                static_cast<std::size_t>(state.range(0))),
                            1);
+    cluster.sim().set_observer(&ob);
     for (Value v = 1; v <= 10; ++v) {
       cluster.blocking_write(v);
       benchmark::DoNotOptimize(cluster.blocking_read(0).value);
@@ -73,15 +90,18 @@ void BM_WriteReadBestCase(benchmark::State& state) {
   }
   state.counters["write_rounds"] = static_cast<double>(write_rounds);
   state.counters["read_rounds"] = static_cast<double>(read_rounds);
+  report_op_latency(state, ob);
 }
 BENCHMARK(BM_WriteReadBestCase)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
 
 void BM_WriteReadDegraded(benchmark::State& state) {
+  rqs::obs::Observer ob;
   RoundNumber write_rounds = 0;
   for (auto _ : state) {
     StorageCluster cluster(make_3t1_instantiation(
                                static_cast<std::size_t>(state.range(0))),
                            1);
+    cluster.sim().set_observer(&ob);
     for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
       cluster.crash(static_cast<ProcessId>(i));
     }
@@ -92,6 +112,7 @@ void BM_WriteReadDegraded(benchmark::State& state) {
     write_rounds = cluster.writer().last_write_rounds();
   }
   state.counters["write_rounds"] = static_cast<double>(write_rounds);
+  report_op_latency(state, ob);
 }
 BENCHMARK(BM_WriteReadDegraded)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 

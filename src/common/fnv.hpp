@@ -1,0 +1,29 @@
+// FNV-1a over 64-bit words, shared by the scenario digests and the trace
+// ring. The digest only needs to be deterministic and sensitive to every
+// mixed field, not cryptographic; mixing word-by-byte keeps it identical
+// to the historical scenario trace_digest values.
+#pragma once
+
+#include <cstdint>
+
+namespace rqs {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+class Fnv64 {
+ public:
+  constexpr void mix(std::uint64_t x) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (x >> (8 * i)) & 0xff;
+      h_ *= kFnvPrime;
+    }
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_{kFnvOffset};
+};
+
+}  // namespace rqs

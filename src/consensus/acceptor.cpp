@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
+
 namespace rqs::consensus {
 
 RqsAcceptor::RqsAcceptor(sim::Simulation& sim, ProcessId id,
@@ -296,6 +298,19 @@ bool RqsAcceptor::view_proof_valid(const std::vector<SignedViewChange>& proof,
 }
 
 void RqsAcceptor::on_decided(Value v) {
+  if (auto* ob = sim().observer()) {
+    // Decision rules 1/2/3 (Fig. 15 lines 51-53) are the class-1/2/3
+    // ladder positions of consensus.
+    const RoundNumber step = tracker_.decided_step();
+    ob->count(step == 1 ? "consensus.decide.rule1"
+                        : step == 2 ? "consensus.decide.rule2"
+                                    : "consensus.decide.rule3");
+    ob->record_latency("consensus.decide.view", static_cast<std::int64_t>(
+                                                    tracker_.decided_view()));
+    ob->quorum_class(now(), id(), obs::kPhaseDecide,
+                     static_cast<std::uint8_t>(step),
+                     tracker_.decided_view());
+  }
   // Election, Fig. 14 line 7: help others stop their timers.
   auto msg = make_msg<DecisionMsg>();
   msg->value = v;

@@ -27,7 +27,9 @@ class DecideTracker {
         ProcessSet& senders = update1_[{m.view, m.value}];
         senders.insert(sender);
         for (const QuorumId q1 : rqs_->class1_ids()) {
-          if (rqs_->quorum_set(q1).subset_of(senders)) return decide(m.value);
+          if (rqs_->quorum_set(q1).subset_of(senders)) {
+            return decide(m.value, 1, m.view);
+          }
         }
         return std::nullopt;
       }
@@ -41,14 +43,16 @@ class DecideTracker {
         if (q2.cls == QuorumClass::Class3) return std::nullopt;
         ProcessSet& senders = update2_[{m.view, m.value, m.quorum}];
         senders.insert(sender);
-        if (rqs_->quorum_set(m.quorum).subset_of(senders)) return decide(m.value);
+        if (rqs_->quorum_set(m.quorum).subset_of(senders)) {
+          return decide(m.value, 2, m.view);
+        }
         return std::nullopt;
       }
       case 3: {
         ProcessSet& senders = update3_[{m.view, m.value}];
         senders.insert(sender);
         for (const Quorum& q : rqs_->quorums()) {
-          if (q.set.subset_of(senders)) return decide(m.value);
+          if (q.set.subset_of(senders)) return decide(m.value, 3, m.view);
         }
         return std::nullopt;
       }
@@ -59,17 +63,26 @@ class DecideTracker {
 
   [[nodiscard]] bool decided() const noexcept { return decided_; }
   [[nodiscard]] Value decision() const noexcept { return decision_; }
+  /// Which rule fired (1/2/3 — the quorum-class ladder position of the
+  /// decision); 0 before any decision.
+  [[nodiscard]] RoundNumber decided_step() const noexcept { return decided_step_; }
+  /// The view the deciding updates carried; meaningful once decided().
+  [[nodiscard]] ViewNumber decided_view() const noexcept { return decided_view_; }
 
  private:
-  std::optional<Value> decide(Value v) {
+  std::optional<Value> decide(Value v, RoundNumber step, ViewNumber view) {
     decided_ = true;
     decision_ = v;
+    decided_step_ = step;
+    decided_view_ = view;
     return v;
   }
 
   const RefinedQuorumSystem* rqs_;
   bool decided_{false};
   Value decision_{kNil};
+  RoundNumber decided_step_{0};
+  ViewNumber decided_view_{0};
   std::map<std::tuple<ViewNumber, Value>, ProcessSet> update1_;
   std::map<std::tuple<ViewNumber, Value, QuorumId>, ProcessSet> update2_;
   std::map<std::tuple<ViewNumber, Value>, ProcessSet> update3_;

@@ -8,6 +8,7 @@
 
 #include "consensus/config.hpp"
 #include "consensus/decide_tracker.hpp"
+#include "obs/observer.hpp"
 #include "sim/process.hpp"
 
 namespace rqs::consensus {
@@ -62,6 +63,19 @@ class RqsLearner final : public sim::Process {
     learned_ = true;
     value_ = v;
     learn_time_ = now();
+    if (auto* ob = sim().observer()) {
+      // Rule 1/2/3 when a decision rule fired here; 0 means the learner
+      // caught up from a basic subset of decision messages (line 101).
+      const RoundNumber step = tracker_.decided_step();
+      ob->count(step == 1 ? "consensus.learn.rule1"
+                          : step == 2 ? "consensus.learn.rule2"
+                                      : step == 3 ? "consensus.learn.rule3"
+                                                  : "consensus.learn.via_decisions");
+      ob->record_latency("consensus.learn.sim_time", learn_time_);
+      ob->phase(learn_time_, id(), obs::kPhaseLearn,
+                static_cast<std::uint64_t>(v), 0,
+                static_cast<std::uint8_t>(step));
+    }
   }
 
   ConsensusConfig config_;

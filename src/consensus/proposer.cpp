@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/observer.hpp"
+
 namespace rqs::consensus {
 
 RqsProposer::RqsProposer(sim::Simulation& sim, ProcessId id,
@@ -25,10 +27,18 @@ void RqsProposer::run_propose() {
   if (halted_) return;
   if (view_ == 0) {
     // Fig. 9: skip the consult phase in initView.
+    if (auto* ob = sim().observer()) {
+      ob->count("consensus.propose.fast_path");
+      ob->phase(now(), id(), obs::kPhaseProposeFast, static_cast<std::uint64_t>(value_));
+    }
     send_prepare(value_, VProof{}, ProcessSet{});
     return;
   }
   // Consult phase (Fig. 12 line 2).
+  if (auto* ob = sim().observer()) {
+    ob->count("consensus.propose.slow_path");
+    ob->phase(now(), id(), obs::kPhaseProposeConsult, view_);
+  }
   consulting_ = true;
   acks_.clear();
   faulty_.clear();
@@ -90,6 +100,10 @@ void RqsProposer::try_choose_and_prepare() {
     for (const ProcessId a : quorum.set) vproof[a] = acks_[a];
     const ChooseResult chosen = choose(value_, vproof, quorum.set, *config_.rqs);
     if (chosen.abort) {
+      if (auto* ob = sim().observer()) {
+        ob->count("consensus.choose.abort");
+        ob->phase(now(), id(), obs::kPhaseChooseAbort, view_);
+      }
       faulty_.insert(quorum.set);  // line 7
       continue;
     }
@@ -133,6 +147,10 @@ void RqsProposer::on_message(ProcessId from, const sim::Message& m) {
           view_proof_.push_back(change);
         }
         view_ = next;  // line 12
+        if (auto* ob = sim().observer()) {
+          ob->count("consensus.view_change");
+          ob->phase(now(), id(), obs::kPhaseViewChange, next);
+        }
         if (proposed_) run_propose();  // line 13/10: elected => propose
         return;
       }

@@ -1,0 +1,44 @@
+// Trace persistence and Chrome trace-event export.
+//
+// A TraceDump is the portable form of a ring: the retained events plus
+// the message-tag intern table. It round-trips through a small binary
+// format (magic + version, little-endian fields) and renders to Chrome
+// trace-event JSON — instant events with microsecond timestamps (the
+// repo-wide convention 1 sim unit = 1 us, Delta = 1000 = "1ms links") —
+// loadable in Perfetto or chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace rqs::obs {
+
+class Observer;
+
+struct TraceDump {
+  std::vector<TraceEvent> events;  ///< oldest first
+  /// MessageType hash -> tag, for naming kSend/kDeliver events.
+  std::vector<std::pair<std::uint32_t, std::string>> tags;
+  std::uint64_t recorded{0};  ///< events ever recorded (>= events.size())
+  std::uint64_t dropped{0};   ///< overwritten by ring overflow
+
+  [[nodiscard]] static TraceDump from(const Observer& ob);
+  [[nodiscard]] std::string_view tag_of(std::uint32_t type) const noexcept;
+};
+
+/// Writes the dump to `path`; false on I/O failure.
+bool save_trace(const std::string& path, const TraceDump& dump);
+/// Reads a dump written by save_trace; nullopt on I/O or format errors.
+[[nodiscard]] std::optional<TraceDump> load_trace(const std::string& path);
+
+/// Renders the dump as Chrome trace-event JSON ("traceEvents" array of
+/// instant events, tid = acting process).
+void write_chrome_trace(std::ostream& out, const TraceDump& dump);
+
+}  // namespace rqs::obs

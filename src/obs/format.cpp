@@ -1,0 +1,24 @@
+#include "obs/format.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace rqs::obs {
+
+std::string format_digest(std::uint64_t digest) {
+  return std::to_string(digest);
+}
+
+std::string format_fraction(std::size_t completed, std::size_t started) {
+  return std::to_string(completed) + "/" + std::to_string(started);
+}
+
+std::string format_histogram_line(const LatencyHistogram& h) {
+  return "count=" + std::to_string(h.count()) +
+         " p50=" + std::to_string(h.percentile(50.0)) +
+         " p90=" + std::to_string(h.percentile(90.0)) +
+         " p99=" + std::to_string(h.percentile(99.0)) +
+         " p999=" + std::to_string(h.percentile(99.9)) +
+         " max=" + std::to_string(h.max());
+}
+
+}  // namespace rqs::obs

@@ -1,0 +1,23 @@
+// Shared text formatting for run reports: one place for digest and
+// fraction rendering, used by the scenario runner, the swarm summary and
+// the metrics snapshot printer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rqs::obs {
+
+class LatencyHistogram;
+
+/// A digest as decimal text (the historical report format).
+[[nodiscard]] std::string format_digest(std::uint64_t digest);
+
+/// "completed/started", e.g. "ops 3/4".
+[[nodiscard]] std::string format_fraction(std::size_t completed,
+                                          std::size_t started);
+
+/// "count=N p50=.. p90=.. p99=.. p999=.. max=.." for a histogram.
+[[nodiscard]] std::string format_histogram_line(const LatencyHistogram& h);
+
+}  // namespace rqs::obs

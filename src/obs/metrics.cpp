@@ -1,0 +1,104 @@
+#include "obs/metrics.hpp"
+
+#include "obs/format.hpp"
+
+namespace rqs::obs {
+
+std::int64_t LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  double rank = p / 100.0 * static_cast<double>(count_);
+  if (rank > static_cast<double>(count_)) rank = static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    if (counts_[i] == 0) continue;
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= rank) {
+      const auto [lo, hi] = range_of(i);
+      if (lo == hi) return lo;
+      // Linear interpolation inside the bucket: rank position among the
+      // bucket's own samples, assumed uniform over [lo, hi].
+      const double in_bucket =
+          rank - static_cast<double>(cum - counts_[i]);
+      const double frac = in_bucket / static_cast<double>(counts_[i]);
+      auto v = lo + static_cast<std::int64_t>(
+                        static_cast<double>(hi - lo) * frac + 0.5);
+      // The top bucket's nominal range may exceed the recorded maximum.
+      if (v > max()) v = max();
+      if (v < min()) v = min();
+      return v;
+    }
+  }
+  return max();
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    const auto it = std::lower_bound(
+        counters.begin(), counters.end(), name,
+        [](const auto& a, const std::string& b) { return a.first < b; });
+    if (it != counters.end() && it->first == name) {
+      it->second += value;
+    } else {
+      counters.insert(it, {name, value});
+    }
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    const auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), name,
+        [](const auto& a, const std::string& b) { return a.first < b; });
+    if (it != histograms.end() && it->first == name) {
+      it->second.merge(hist);
+    } else {
+      histograms.insert(it, {name, hist});
+    }
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const LatencyHistogram* MetricsSnapshot::histogram(
+    std::string_view name) const noexcept {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name + " " + format_histogram_line(h) + "\n";
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      counters_.begin(), counters_.end(), name,
+      [](const auto& a, std::string_view b) { return a.first < b; });
+  return it != counters_.end() && it->first == name ? it->second : 0;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    snap.counters.emplace_back(std::string(name), value);
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(std::string(name), *h);
+  }
+  return snap;
+}
+
+}  // namespace rqs::obs

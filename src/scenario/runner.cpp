@@ -5,8 +5,11 @@
 #include <memory>
 #include <optional>
 
+#include "common/fnv.hpp"
 #include "common/rng.hpp"
 #include "consensus/harness.hpp"
+#include "obs/format.hpp"
+#include "obs/observer.hpp"
 #include "sim/network.hpp"
 #include "storage/harness.hpp"
 
@@ -14,16 +17,29 @@ namespace rqs::scenario {
 
 namespace {
 
-// FNV-1a over 64-bit words; the digest only needs to be deterministic and
-// sensitive to every recorded field, not cryptographic.
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-void fnv(std::uint64_t& h, std::uint64_t x) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (x >> (8 * i)) & 0xff;
-    h *= kFnvPrime;
+/// Builds the observer a run attaches (if any): the external one from the
+/// options, or a per-run one when metrics/tracing were requested. The
+/// returned unique_ptr owns the per-run case.
+std::unique_ptr<obs::Observer> make_run_observer(
+    const ScenarioRunner::Options& opts, obs::Observer*& attach) {
+  if (opts.observer != nullptr) {
+    attach = opts.observer;
+    return nullptr;
   }
+  if (!opts.collect_metrics && opts.trace_capacity == 0) {
+    attach = nullptr;
+    return nullptr;
+  }
+  auto owned = std::make_unique<obs::Observer>(opts.trace_capacity);
+  attach = owned.get();
+  return owned;
+}
+
+/// Folds an attached observer's results into the scenario result.
+void harvest_observer(const obs::Observer* ob, ScenarioResult& res) {
+  if (ob == nullptr) return;
+  res.metrics = ob->snapshot();
+  res.events_digest = ob->events_digest();
 }
 
 /// Sorted schedule with original positions, so equal-time entries keep
@@ -182,9 +198,8 @@ ProcessSet crash_targets(const std::vector<ScheduleEntry>& entries,
 
 std::string ScenarioResult::to_string() const {
   std::string out = ok() ? "pass" : "FAIL";
-  out += " (ops " + std::to_string(ops_completed) + "/" +
-         std::to_string(ops_started) + ", digest " + std::to_string(trace_digest) +
-         ")";
+  out += " (ops " + obs::format_fraction(ops_completed, ops_started) +
+         ", digest " + obs::format_digest(trace_digest) + ")";
   for (const std::string& v : violations) out += "\n  " + v;
   return out;
 }
@@ -221,6 +236,9 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
   }
   storage::StorageCluster cluster(sys, cfg);
   sim::Simulation& sim = cluster.sim();
+  obs::Observer* ob = nullptr;
+  const std::unique_ptr<obs::Observer> owned_ob = make_run_observer(opts_, ob);
+  if (ob != nullptr) sim.set_observer(ob);
 
   const std::vector<ScheduleEntry> entries = sorted_schedule(spec);
   auto loss_rng = std::make_shared<Rng>(spec.seed ^ 0x10551055cafef00dULL);
@@ -332,25 +350,26 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
     }
   }
 
-  std::uint64_t h = kFnvOffset;
-  fnv(h, static_cast<std::uint64_t>(spec.protocol));
-  fnv(h, static_cast<std::uint64_t>(spec.family));
+  Fnv64 h;
+  h.mix(static_cast<std::uint64_t>(spec.protocol));
+  h.mix(static_cast<std::uint64_t>(spec.family));
   for (ObjectId key = 0; key < spec.key_count; ++key) {
-    fnv(h, key);
+    h.mix(key);
     for (const auto& w : cluster.checker(key).writes()) {
-      fnv(h, static_cast<std::uint64_t>(w.invoked));
-      fnv(h, static_cast<std::uint64_t>(w.responded));
-      fnv(h, static_cast<std::uint64_t>(w.value));
+      h.mix(static_cast<std::uint64_t>(w.invoked));
+      h.mix(static_cast<std::uint64_t>(w.responded));
+      h.mix(static_cast<std::uint64_t>(w.value));
     }
     for (const auto& r : cluster.checker(key).reads()) {
-      fnv(h, static_cast<std::uint64_t>(r.invoked));
-      fnv(h, static_cast<std::uint64_t>(r.responded));
-      fnv(h, static_cast<std::uint64_t>(r.value));
+      h.mix(static_cast<std::uint64_t>(r.invoked));
+      h.mix(static_cast<std::uint64_t>(r.responded));
+      h.mix(static_cast<std::uint64_t>(r.value));
     }
   }
-  fnv(h, res.messages_delivered);
-  fnv(h, static_cast<std::uint64_t>(res.end_time));
-  res.trace_digest = h;
+  h.mix(res.messages_delivered);
+  h.mix(static_cast<std::uint64_t>(res.end_time));
+  res.trace_digest = h.digest();
+  harvest_observer(ob, res);
   return res;
 }
 
@@ -373,6 +392,9 @@ ScenarioResult ScenarioRunner::run_consensus(const ScenarioSpec& spec) const {
   }
   consensus::ConsensusCluster cluster(sys, cfg);
   sim::Simulation& sim = cluster.sim();
+  obs::Observer* ob = nullptr;
+  const std::unique_ptr<obs::Observer> owned_ob = make_run_observer(opts_, ob);
+  if (ob != nullptr) sim.set_observer(ob);
 
   const std::vector<ScheduleEntry> entries = sorted_schedule(spec);
   auto loss_rng = std::make_shared<Rng>(spec.seed ^ 0x10551055cafef00dULL);
@@ -474,23 +496,24 @@ ScenarioResult ScenarioRunner::run_consensus(const ScenarioSpec& spec) const {
     if (cluster.learner(i).learned()) ++res.ops_completed;
   }
 
-  std::uint64_t h = kFnvOffset;
-  fnv(h, static_cast<std::uint64_t>(spec.protocol));
-  fnv(h, static_cast<std::uint64_t>(spec.family));
+  Fnv64 h;
+  h.mix(static_cast<std::uint64_t>(spec.protocol));
+  h.mix(static_cast<std::uint64_t>(spec.family));
   for (std::size_t i = 0; i < spec.learner_count; ++i) {
     const bool l = cluster.learner(i).learned();
-    fnv(h, l ? 1 : 0);
-    fnv(h, l ? static_cast<std::uint64_t>(cluster.learner(i).learned_value()) : 0);
-    fnv(h, l ? static_cast<std::uint64_t>(cluster.learner(i).learn_time()) : 0);
+    h.mix(l ? 1 : 0);
+    h.mix(l ? static_cast<std::uint64_t>(cluster.learner(i).learned_value()) : 0);
+    h.mix(l ? static_cast<std::uint64_t>(cluster.learner(i).learn_time()) : 0);
   }
   for (ProcessId a = 0; a < n; ++a) {
     const bool d = cluster.acceptor(a).decided();
-    fnv(h, d ? 1 : 0);
-    fnv(h, d ? static_cast<std::uint64_t>(cluster.acceptor(a).decision()) : 0);
+    h.mix(d ? 1 : 0);
+    h.mix(d ? static_cast<std::uint64_t>(cluster.acceptor(a).decision()) : 0);
   }
-  fnv(h, res.messages_delivered);
-  fnv(h, static_cast<std::uint64_t>(res.end_time));
-  res.trace_digest = h;
+  h.mix(res.messages_delivered);
+  h.mix(static_cast<std::uint64_t>(res.end_time));
+  res.trace_digest = h.digest();
+  harvest_observer(ob, res);
   return res;
 }
 

@@ -15,7 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "scenario/spec.hpp"
+
+namespace rqs::obs {
+class Observer;
+}  // namespace rqs::obs
 
 namespace rqs::scenario {
 
@@ -31,6 +36,11 @@ struct ScenarioResult {
   std::uint64_t trace_digest{0};  ///< order-sensitive hash of the execution
   sim::SimTime end_time{0};
   std::uint64_t messages_delivered{0};
+
+  /// Per-run metrics (empty unless an observer was attached).
+  obs::MetricsSnapshot metrics;
+  /// Digest of the trace-event sequence (0 unless tracing was on).
+  std::uint64_t events_digest{0};
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   [[nodiscard]] std::string to_string() const;
@@ -48,6 +58,18 @@ class ScenarioRunner {
     /// false retains the paper's full-history storage; the differential
     /// suite runs every spec both ways and requires identical digests.
     bool compact_history{true};
+
+    /// Attach a per-run observer and surface its MetricsSnapshot through
+    /// ScenarioResult::metrics. Observation is passive: trace_digest is
+    /// byte-identical with or without it.
+    bool collect_metrics{false};
+    /// Trace ring capacity for the per-run observer (0 = no tracing);
+    /// implies metrics collection when nonzero.
+    std::size_t trace_capacity{0};
+    /// External observer to attach instead of a per-run one (for benches
+    /// accumulating histograms across many runs). When set, the two
+    /// fields above are ignored and the caller owns aggregation.
+    obs::Observer* observer{nullptr};
   };
 
   ScenarioRunner() = default;

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/format.hpp"
+
 namespace rqs::scenario {
 
 std::string SwarmFailure::to_string() const {
@@ -18,11 +20,14 @@ std::string SwarmFailure::to_string() const {
 std::string SwarmReport::summary() const {
   std::string out = std::to_string(scenarios_run) + " scenarios, " +
                     std::to_string(violating) + " violating, ops " +
-                    std::to_string(ops_completed) + "/" +
-                    std::to_string(ops_started) + " completed, " +
-                    std::to_string(liveness_checked) +
-                    " liveness claims, digest " + std::to_string(digest);
+                    obs::format_fraction(ops_completed, ops_started) +
+                    " completed, " + std::to_string(liveness_checked) +
+                    " liveness claims, digest " + obs::format_digest(digest);
+  if (events_digest != 0) {
+    out += ", events digest " + obs::format_digest(events_digest);
+  }
   for (const SwarmFailure& f : failures) out += "\n" + f.to_string();
+  if (!metrics.empty()) out += "\nmetrics:\n" + metrics.to_string();
   return out;
 }
 
@@ -33,6 +38,8 @@ SwarmReport run_swarm(const SwarmOptions& opts) {
     std::size_t ops_completed{0};
     std::size_t liveness_checked{0};
     std::uint64_t digest{0};
+    obs::MetricsSnapshot metrics;
+    std::uint64_t events_digest{0};
     std::vector<std::uint64_t> failing_seeds;
   };
 
@@ -53,6 +60,8 @@ SwarmReport run_swarm(const SwarmOptions& opts) {
       tally.ops_completed += result.ops_completed;
       tally.liveness_checked += result.liveness_checked;
       tally.digest ^= result.trace_digest;
+      tally.metrics.merge(result.metrics);
+      tally.events_digest ^= result.events_digest;
       if (!result.ok()) {
         ++tally.violating;
         tally.failing_seeds.push_back(seed);
@@ -78,6 +87,8 @@ SwarmReport run_swarm(const SwarmOptions& opts) {
     report.ops_completed += tally.ops_completed;
     report.liveness_checked += tally.liveness_checked;
     report.digest ^= tally.digest;
+    report.metrics.merge(tally.metrics);
+    report.events_digest ^= tally.events_digest;
     failing.insert(failing.end(), tally.failing_seeds.begin(),
                    tally.failing_seeds.end());
   }

@@ -47,6 +47,14 @@ struct SwarmReport {
   std::size_t ops_completed{0};
   std::size_t liveness_checked{0};  ///< operations covered by a liveness claim
   std::uint64_t digest{0};          ///< XOR of per-scenario trace digests
+  /// Merged metrics across all scenarios (empty unless the runner options
+  /// enabled collection). Histogram merging is bucket-wise addition —
+  /// commutative and associative — so this aggregate is thread-count
+  /// invariant, like the digest.
+  obs::MetricsSnapshot metrics;
+  /// XOR of per-scenario trace-event digests (0 unless tracing was on);
+  /// thread-count invariant for the same reason.
+  std::uint64_t events_digest{0};
   std::vector<SwarmFailure> failures;  ///< lowest seeds first, capped
 
   [[nodiscard]] bool ok() const noexcept { return violating == 0; }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/observer.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
 
@@ -61,6 +62,11 @@ void Simulation::schedule_at(SimTime at, std::function<void()> fn) {
 void Simulation::deliver_at(SimTime at, ProcessId from, ProcessId to,
                             MessagePtr msg) {
   if (at < now_) at = now_;
+  // Only scheduled deliveries are observed: a message the network dropped
+  // never reaches this point and leaves no trace event.
+  if (obs_ != nullptr) {
+    obs_->on_send(now_, at, from, to, msg->type(), msg->tag());
+  }
   Event ev;
   ev.at = at;
   ev.key = next_key(kDeliveryPhase, Event::kDelivery);
@@ -111,6 +117,9 @@ void Simulation::dispatch(const Event& ev) {
       Process* p = process(to);
       if (p == nullptr) return;
       ++messages_delivered_;
+      if (obs_ != nullptr) {
+        obs_->on_deliver(now_, ev.delivery.from, to, msg->type(), msg->tag());
+      }
       p->on_message(ev.delivery.from, *msg);
       return;
     }
@@ -129,7 +138,9 @@ void Simulation::dispatch(const Event& ev) {
       timer_free_.push_back(slot);  // rqs-lint: allow(hot-path-alloc) bounded by the peak in-flight timer count, then recycled
       if (cancelled || crashed(ev.timer.owner)) return;
       Process* p = process(ev.timer.owner);
-      if (p != nullptr) p->on_timer(id);
+      if (p == nullptr) return;
+      if (obs_ != nullptr) obs_->on_timer(now_, ev.timer.owner, id);
+      p->on_timer(id);
       return;
     }
     case Event::kCallback: {

@@ -26,6 +26,10 @@
 #include "common/types.hpp"
 #include "sim/message.hpp"
 
+namespace rqs::obs {
+class Observer;
+}  // namespace rqs::obs
+
 namespace rqs::sim {
 
 /// Virtual time. The unit is arbitrary; protocols only compare against the
@@ -212,6 +216,15 @@ class Simulation {
     return messages_delivered_;
   }
 
+  /// Attaches (or detaches, with nullptr) an observer. Null by default:
+  /// every hook site on the hot path pays exactly one predictable branch
+  /// when off. Observation is passive — attaching one never changes the
+  /// event order or any protocol-visible state, so golden digests stay
+  /// byte-identical whether tracing is on or off. The caller keeps the
+  /// observer alive while attached.
+  void set_observer(obs::Observer* ob) noexcept { obs_ = ob; }
+  [[nodiscard]] obs::Observer* observer() const noexcept { return obs_; }
+
   /// Timer bookkeeping capacity — the number of timer *slots* ever
   /// allocated. Slots are recycled when their timer fires or its event
   /// pops cancelled, so this is bounded by the peak number of in-flight
@@ -246,6 +259,7 @@ class Simulation {
   SimTime delta_;
   std::uint64_t next_seq_{0};
   std::uint64_t messages_delivered_{0};
+  obs::Observer* obs_{nullptr};
   MessagePool pool_;  // declared before queue_: events release refs first
   EventHeap queue_;
   // Dense per-process state. ProcessIds are small and contiguous in every

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/observer.hpp"
+
 namespace rqs::storage {
 
 RqsReader::RqsReader(sim::Simulation& sim, ProcessId id,
@@ -23,6 +25,7 @@ void RqsReader::read(DoneFn done) {
   highest_ts_ = 0;
   total_rounds_ = 0;
   ++read_no_;
+  read_started_ = now();
   phase_ = Phase::kCollect;
   start_collect_round();
 }
@@ -175,6 +178,10 @@ QuorumIdSet RqsReader::bcd2(const TsValue& c, RoundNumber r) const {
 void RqsReader::start_collect_round() {
   ++read_rnd_;  // line 23
   ++total_rounds_;
+  if (auto* ob = sim().observer()) {
+    ob->phase(now(), id(), obs::kPhaseReadCollect, key_, read_no_,
+              static_cast<std::uint8_t>(read_rnd_));
+  }
   round_acks_ = ProcessSet{};
   if (read_rnd_ == 1) {  // line 24
     timer_expired_ = false;
@@ -352,6 +359,15 @@ void RqsReader::after_selection() {
 
 void RqsReader::start_writeback(RoundNumber wb_round, const QuorumIdSet& set,
                                 Phase next_phase) {
+  if (auto* ob = sim().observer()) {
+    const std::uint32_t point = next_phase == Phase::kWriteback1
+                                    ? obs::kPhaseReadWriteback1
+                                    : next_phase == Phase::kWriteback1Plain
+                                          ? obs::kPhaseReadWriteback1Plain
+                                          : obs::kPhaseReadWriteback2;
+    ob->phase(now(), id(), point, key_, read_no_,
+              static_cast<std::uint8_t>(wb_round));
+  }
   phase_ = next_phase;
   wb_round_ = wb_round;
   wb_op_ = ++op_seq_;
@@ -408,6 +424,23 @@ void RqsReader::maybe_finish_writeback() {
 void RqsReader::finish(Value v) {
   phase_ = Phase::kIdle;
   last_rounds_ = total_rounds_;
+  if (auto* ob = sim().observer()) {
+    // Ladder position of the completed read: 1 round = class 1 fast path,
+    // 2 rounds = class 2 (one writeback), 3+ = class 3 / degraded.
+    const std::uint8_t cls =
+        total_rounds_ <= 1 ? 1 : (total_rounds_ == 2 ? 2 : 3);
+    ob->count(cls == 1 ? "storage.read.class1"
+                       : cls == 2 ? "storage.read.class2"
+                                  : "storage.read.class3");
+    ob->record_latency("storage.read.sim_time", now() - read_started_);
+    ob->record_latency("storage.read.rounds", total_rounds_);
+    ob->record_latency("storage.read.collect_rounds", read_rnd_);
+    ob->record_latency("storage.read.writeback_rounds",
+                       total_rounds_ - read_rnd_);
+    ob->quorum_class(now(), id(), obs::kPhaseReadDone, cls, total_rounds_);
+    ob->phase(now(), id(), obs::kPhaseReadDone, key_, read_no_,
+              static_cast<std::uint8_t>(total_rounds_));
+  }
   // An atomic read's csel is complete once the read returns (the
   // writeback — or the BCD fast-path proof — made it so); remember it for
   // the compaction piggyback. A regular read's csel may be a concurrent,

@@ -135,6 +135,7 @@ class RqsReader final : public sim::Process {
 
   RoundNumber total_rounds_{0};
   RoundNumber last_rounds_{0};
+  sim::SimTime read_started_{0};
 };
 
 }  // namespace rqs::storage

@@ -1,8 +1,11 @@
 #include "storage/server.hpp"
 
+#include "obs/observer.hpp"
+
 namespace rqs::storage {
 
-void RqsStorageServer::note_completed(KeyState& ks, const TsValue& completed) {
+void RqsStorageServer::note_completed(ObjectId key, KeyState& ks,
+                                      const TsValue& completed) {
   if (completed == kInitialPair || completed.ts <= ks.floor) return;
   // Materialize the complete pair before compacting: a server may learn
   // the floor from a client that knows the pair is complete while the
@@ -15,7 +18,19 @@ void RqsStorageServer::note_completed(KeyState& ks, const TsValue& completed) {
     if (s.is_initial()) s.pair = completed;
   }
   ks.floor = completed.ts;
-  if (compact_) ks.history.compact_below(ks.floor);
+  if (auto* ob = sim().observer()) {
+    ob->count("storage.floor.advance");
+    const std::size_t before = ks.history.row_count();
+    if (compact_) ks.history.compact_below(ks.floor);
+    const std::size_t dropped = before - ks.history.row_count();
+    if (compact_) {
+      ob->record_latency("storage.compaction.rows_dropped",
+                         static_cast<std::int64_t>(dropped));
+      ob->compaction(now(), id(), key, dropped, completed.ts.seq);
+    }
+  } else if (compact_) {
+    ks.history.compact_below(ks.floor);
+  }
 }
 
 void RqsStorageServer::on_message(ProcessId from, const sim::Message& m) {
@@ -23,7 +38,7 @@ void RqsStorageServer::on_message(ProcessId from, const sim::Message& m) {
     case WrMsg::kType: {
       const auto& wr = static_cast<const WrMsg&>(m);
       KeyState& ks = keys_[wr.key];
-      note_completed(ks, wr.completed);
+      note_completed(wr.key, ks, wr.completed);
       // Lines 3-6 of Figure 6: fill slots 1..rnd, guarding against
       // overwriting a different pair at the same timestamp; the QC'2 set is
       // accumulated only in the slot of the message's round.
@@ -56,6 +71,10 @@ void RqsStorageServer::on_message(ProcessId from, const sim::Message& m) {
       ++reply_stats_.replies;
       reply_stats_.rows += ack->history.row_count();
       reply_stats_.slots += ack->history.slot_count();
+      if (auto* ob = sim().observer()) {
+        ob->record_latency("storage.rdack.rows",
+                           static_cast<std::int64_t>(ack->history.row_count()));
+      }
       send(from, std::move(ack));
       return;
     }

@@ -83,7 +83,7 @@ class RqsStorageServer : public sim::Process {
 
   /// Records that `completed` is a complete pair for the key: materialize
   /// it (slots 1-2, guarded like any write), raise the floor, compact.
-  void note_completed(KeyState& ks, const TsValue& completed);
+  void note_completed(ObjectId key, KeyState& ks, const TsValue& completed);
 
   bool compact_;
   std::map<ObjectId, KeyState> keys_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/observer.hpp"
+
 namespace rqs::storage {
 
 RqsWriter::RqsWriter(sim::Simulation& sim, ProcessId id,
@@ -18,10 +20,16 @@ void RqsWriter::write(Value v, DoneFn done) {
   done_ = std::move(done);
   qc2_prime_.clear();
   round_ = 1;
+  write_started_ = now();
   start_round();
 }
 
 void RqsWriter::start_round() {
+  if (auto* ob = sim().observer()) {
+    ob->phase(now(), id(), obs::kPhaseWriteRound, key_,
+              static_cast<std::uint64_t>(ts_.seq),
+              static_cast<std::uint8_t>(round_));
+  }
   acked_ = ProcessSet{};
   op_ = ++op_seq_;
   auto msg = make_msg<WrMsg>();
@@ -109,6 +117,20 @@ void RqsWriter::maybe_finish_round() {
 }
 
 void RqsWriter::complete() {
+  if (auto* ob = sim().observer()) {
+    // Ladder position of the write: rounds 1/2/3 are exactly the class
+    // 1/2/3 termination cases of Figure 5.
+    const auto cls = static_cast<std::uint8_t>(round_ > 3 ? 3 : round_);
+    ob->count(cls == 1 ? "storage.write.class1"
+                       : cls == 2 ? "storage.write.class2"
+                                  : "storage.write.class3");
+    ob->record_latency("storage.write.sim_time", now() - write_started_);
+    ob->record_latency("storage.write.rounds", round_);
+    ob->quorum_class(now(), id(), obs::kPhaseWriteDone, cls, round_);
+    ob->phase(now(), id(), obs::kPhaseWriteDone, key_,
+              static_cast<std::uint64_t>(ts_.seq),
+              static_cast<std::uint8_t>(round_));
+  }
   last_rounds_ = round_;
   round_ = 0;
   completed_ = TsValue{ts_, value_};

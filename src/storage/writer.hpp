@@ -75,6 +75,7 @@ class RqsWriter final : public sim::Process {
   bool timer_expired_{true};
   sim::TimerId timer_{0};
   RoundNumber last_rounds_{0};
+  sim::SimTime write_started_{0};
 };
 
 }  // namespace rqs::storage

@@ -1,0 +1,62 @@
+// Planted allocations in an observer-shaped class for rqs_lint's
+// `hot-path-alloc` rule: src/obs is a PROTOCOL_DIR, so the real
+// TraceRing::record / MetricsRegistry::bump hot paths carry the same
+// zero-allocation obligation as the engine — an observer that grows a
+// vector per event would silently void the E21 overhead claim. This file
+// is a lint fixture only — it is never compiled or linked.
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rqs::lint_fixture {
+
+struct FakeTraceEvent {
+  std::int64_t at;
+  std::uint64_t arg0;
+  std::uint32_t name;
+  std::uint16_t actor;
+  std::uint8_t kind;
+  std::uint8_t aux;
+};
+
+/// What an observer must NOT look like: unbounded event log, per-event
+/// string interning, eager histogram growth.
+struct FakeObserver {
+  std::vector<FakeTraceEvent> log_;
+  std::vector<std::pair<std::uint32_t, std::string_view>> tags_;
+  std::vector<std::uint64_t> buckets_;
+
+  // rqs-hot-path
+  void record(const FakeTraceEvent& e) {
+    log_.push_back(e);  // EXPECT-LINT: hot-path-alloc
+  }
+
+  // rqs-hot-path
+  void on_send(std::uint32_t type, std::string_view tag) {
+    tags_.emplace_back(type, tag);  // EXPECT-LINT: hot-path-alloc
+  }
+
+  // rqs-hot-path
+  void bump_bucket(std::size_t idx) {
+    if (idx >= buckets_.size()) {
+      buckets_.resize(idx + 1);  // EXPECT-LINT: hot-path-alloc
+    }
+    ++buckets_[idx];
+  }
+
+  // The real registry's first-sight insert is legal only with a reasoned
+  // suppression — this is the shape the tree actually uses.
+  // rqs-hot-path
+  void bump_named(std::uint64_t key) {
+    tags_.insert(tags_.end(), {static_cast<std::uint32_t>(key), ""});  // rqs-lint: allow(hot-path-alloc) cold first-sight insert, steady state never grows
+  }
+
+  // Cold-path setup may allocate: the rule must not fire outside an
+  // annotated function.
+  void preallocate(std::size_t n) {
+    log_.reserve(n);
+    buckets_.resize(n);
+  }
+};
+
+}  // namespace rqs::lint_fixture

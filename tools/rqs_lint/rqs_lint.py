@@ -67,8 +67,11 @@ from pathlib import Path
 # --------------------------------------------------------------------------
 
 # Directories (relative to the repo root) holding protocol/simulator code:
-# full rule set applies.
-PROTOCOL_DIRS = ("src/sim", "src/consensus", "src/storage", "src/scenario")
+# full rule set applies. src/obs is included because the observer sits on
+# the simulator dispatch path — its record/bump hot paths carry the same
+# zero-allocation obligation as the engine itself.
+PROTOCOL_DIRS = ("src/sim", "src/consensus", "src/storage", "src/scenario",
+                 "src/obs")
 # Directories where only the nondeterminism rule applies (pure math /
 # container code, not on any trace path — unordered iteration there cannot
 # reach a digest, but a clock read could still leak into an API).

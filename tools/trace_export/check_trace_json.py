@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate trace_export output against the Chrome trace-event schema.
+
+Checks the JSON-object trace format accepted by chrome://tracing and
+Perfetto: a top-level object with a `traceEvents` array whose entries
+carry the mandatory fields (name, ph, ts, pid, tid) with the right
+types, plus the instant-event scope constraint (`ph == "i"` requires
+`s` in {g, p, t}).
+
+Usage: check_trace_json.py TRACE.json [--min-events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = set("BEXibnesPNODMCRqp(){}SFTfAcv,+")
+INSTANT_SCOPES = {"g", "p", "t"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i: int, ev: object) -> None:
+    if not isinstance(ev, dict):
+        fail(f"traceEvents[{i}] is not an object")
+    for key, types in (
+        ("name", str),
+        ("ph", str),
+        ("ts", (int, float)),
+        ("pid", int),
+        ("tid", int),
+    ):
+        if key not in ev:
+            fail(f"traceEvents[{i}] missing required field {key!r}")
+        if not isinstance(ev[key], types):
+            fail(f"traceEvents[{i}].{key} has type {type(ev[key]).__name__}")
+    if ev["ph"] not in VALID_PHASES:
+        fail(f"traceEvents[{i}].ph = {ev['ph']!r} is not a known phase")
+    if ev["ph"] == "i" and ev.get("s") not in INSTANT_SCOPES:
+        fail(f"traceEvents[{i}] instant event scope s={ev.get('s')!r}")
+    if "cat" in ev and not isinstance(ev["cat"], str):
+        fail(f"traceEvents[{i}].cat is not a string")
+    if "args" in ev and not isinstance(ev["args"], dict):
+        fail(f"traceEvents[{i}].args is not an object")
+    if isinstance(ev["ts"], (int, float)) and ev["ts"] < 0:
+        fail(f"traceEvents[{i}].ts = {ev['ts']} is negative")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace_export JSON output")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum number of trace events required (default 1)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot parse {args.trace}: {exc}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents is missing or not an array")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} trace events (need >= {args.min_events})")
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+
+    if "displayTimeUnit" in doc and doc["displayTimeUnit"] not in ("ms", "ns"):
+        fail(f"displayTimeUnit = {doc['displayTimeUnit']!r}")
+
+    print(
+        f"check_trace_json: OK: {args.trace}: {len(events)} events valid"
+    )
+
+
+if __name__ == "__main__":
+    main()
