@@ -1,0 +1,159 @@
+// Experiment E22: exhaustive schedule-space model checking (src/mc).
+//
+// Three claims measured here: (1) exhaustive search over the three-entry
+// Fig. 1 spec re-finds the Section 1.2 read inversion on the greedy
+// broken-5 system and certifies the repaired fast5 system clean on the
+// same schedule; (2) DPOR (sleep sets + state caching) shrinks the
+// explored schedule space by orders of magnitude against naive
+// enumeration on the n = 4 anchor; (3) the checker's throughput in
+// states/s is high enough to certify small deployments in seconds.
+#include "bench/bench_util.hpp"
+#include "mc/explorer.hpp"
+
+namespace rqs::mc {
+namespace {
+
+using scenario::ScenarioSpec;
+using scenario::ScheduleEntry;
+using scenario::SystemFamily;
+
+ScheduleEntry write_entry(Value v, ProcessSet reachable = {}) {
+  ScheduleEntry e;
+  e.kind = ScheduleEntry::Kind::kWrite;
+  e.value = v;
+  e.reachable = reachable;
+  return e;
+}
+
+ScheduleEntry read_entry(std::size_t client, ProcessSet reachable = {}) {
+  ScheduleEntry e;
+  e.kind = ScheduleEntry::Kind::kRead;
+  e.client = client;
+  e.reachable = reachable;
+  return e;
+}
+
+ScenarioSpec fig1_spec(SystemFamily family) {
+  ScenarioSpec s;
+  s.family = family;
+  s.reader_count = 2;
+  s.schedule = {write_entry(1, ProcessSet{{2}}),
+                read_entry(0, ProcessSet{{2, 3, 4}}),
+                read_entry(1, ProcessSet{{0, 1, 3}})};
+  return s;
+}
+
+ScenarioSpec anchor4() {
+  ScenarioSpec s;
+  s.family = SystemFamily::kThreeT1of1;
+  s.reader_count = 1;
+  s.schedule = {write_entry(7, ProcessSet{{0, 1}}),
+                read_entry(0, ProcessSet{{0, 1}})};
+  return s;
+}
+
+ScenarioSpec tiny3_certificate_spec() {
+  ScenarioSpec s;
+  s.family = SystemFamily::kTiny3;
+  s.reader_count = 1;
+  s.schedule = {write_entry(7, ProcessSet{{0, 1}}),
+                read_entry(0, ProcessSet{{0, 1}})};
+  return s;
+}
+
+std::string summarize(const McResult& r) {
+  std::string out = r.complete ? "complete" : "truncated";
+  out += ", " + std::to_string(r.stats.states_visited) + " arrivals, " +
+         std::to_string(r.stats.distinct_states) + " distinct states, " +
+         std::to_string(r.stats.transitions) + " transitions";
+  out += r.violations.empty()
+             ? ", 0 violations"
+             : ", VIOLATION: " + r.violations[0].signature;
+  return out;
+}
+
+void print_tables() {
+  rqs::bench::print_header(
+      "E22: exhaustive model checking with DPOR (src/mc)",
+      "the greedy Fig. 1 system has a reachable read inversion; the "
+      "repaired system is violation-free over the same bounded schedule "
+      "space; DPOR explores it orders of magnitude cheaper than naive "
+      "enumeration");
+
+  rqs::bench::print_row("broken-5, Fig. 1 three-entry spec (DPOR)",
+                        summarize(explore(fig1_spec(SystemFamily::kFig1Broken5))));
+  rqs::bench::print_row("fast5 (repaired), same schedule (DPOR)",
+                        summarize(explore(fig1_spec(SystemFamily::kFast5))));
+
+  McOptions naive;
+  naive.use_sleep_sets = false;
+  naive.use_state_cache = false;
+  const McResult reduced = explore(anchor4());
+  const McResult full = explore(anchor4(), naive);
+  rqs::bench::print_row("n=4 anchor, DPOR", summarize(reduced));
+  rqs::bench::print_row("n=4 anchor, naive enumeration", summarize(full));
+  const double reduction =
+      static_cast<double>(full.stats.states_visited) /
+      static_cast<double>(reduced.stats.states_visited ? reduced.stats.states_visited : 1);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0fx fewer state arrivals", reduction);
+  rqs::bench::print_row("DPOR reduction factor (claim >= 5x)", buf);
+}
+
+// states/s throughput: items processed = state arrivals, so the reported
+// items_per_second is the headline exploration rate.
+void BM_McFig1Broken5Exhaustive(benchmark::State& state) {
+  const ScenarioSpec spec = fig1_spec(SystemFamily::kFig1Broken5);
+  std::uint64_t arrivals = 0;
+  for (auto _ : state) {
+    const McResult r = explore(spec);
+    benchmark::DoNotOptimize(r.violations.size());
+    arrivals += r.stats.states_visited;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_McFig1Broken5Exhaustive)->Unit(benchmark::kMillisecond);
+
+void BM_McTiny3Certificate(benchmark::State& state) {
+  const ScenarioSpec spec = tiny3_certificate_spec();
+  std::uint64_t arrivals = 0;
+  for (auto _ : state) {
+    const McResult r = explore(spec);
+    benchmark::DoNotOptimize(r.complete);
+    arrivals += r.stats.states_visited;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_McTiny3Certificate)->Unit(benchmark::kMillisecond);
+
+void BM_McAnchor4Dpor(benchmark::State& state) {
+  const ScenarioSpec spec = anchor4();
+  std::uint64_t arrivals = 0;
+  for (auto _ : state) {
+    const McResult r = explore(spec);
+    benchmark::DoNotOptimize(r.complete);
+    arrivals += r.stats.states_visited;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_McAnchor4Dpor)->Unit(benchmark::kMillisecond);
+
+void BM_McAnchor4Naive(benchmark::State& state) {
+  const ScenarioSpec spec = anchor4();
+  McOptions naive;
+  naive.use_sleep_sets = false;
+  naive.use_state_cache = false;
+  std::uint64_t arrivals = 0;
+  for (auto _ : state) {
+    const McResult r = explore(spec, naive);
+    benchmark::DoNotOptimize(r.complete);
+    arrivals += r.stats.states_visited;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_McAnchor4Naive)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rqs::mc
+
+RQS_BENCH_MAIN(rqs::mc::print_tables)

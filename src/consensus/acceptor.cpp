@@ -66,6 +66,8 @@ void RqsAcceptor::on_message(ProcessId from, const sim::Message& m) {
       }
       return;
     default:
+      // rqs-lint: allow(drop) NewViewAckMsg ViewChangeMsg — both are
+      // addressed to the (would-be) leader proposer, never to an acceptor.
       return;
   }
 }

@@ -30,6 +30,8 @@ void PaxosAcceptor::on_message(ProcessId from, const sim::Message& m) {
       return;
     }
     default:
+      // rqs-lint: allow(drop) P1bMsg P2bMsg — phase replies go to the
+      // proposer (and learners); an acceptor never receives them.
       return;
   }
 }
@@ -83,6 +85,8 @@ void PaxosProposer::on_message(ProcessId from, const sim::Message& m) {
       return;
     }
     default:
+      // rqs-lint: allow(drop) P1aMsg P2aMsg — phase requests are
+      // acceptor-bound; a proposer only hears the b-replies.
       return;
   }
 }
@@ -95,6 +99,8 @@ void PaxosProposer::on_timer(sim::TimerId timer) {
 }
 
 void PaxosLearner::on_message(ProcessId from, const sim::Message& m) {
+  // rqs-lint: allow(drop) P1aMsg P1bMsg P2aMsg — a learner counts only the
+  // P2b broadcast; the rest of the protocol never addresses it.
   if (m.type() != P2bMsg::kType || learned_) return;
   const auto* p2b = static_cast<const P2bMsg*>(&m);
   ProcessSet& senders = accepted_[{p2b->ballot.round, p2b->ballot.proposer}];

@@ -44,6 +44,11 @@ class RqsLearner final : public sim::Process {
         return;
       }
       default:
+        // rqs-lint: allow(drop) PrepareMsg NewViewMsg NewViewAckMsg SignReqMsg
+        // rqs-lint: allow(drop) SignAckMsg ViewChangeMsg DecisionPullMsg SyncMsg
+        // Learners passively watch updates and decisions (lines 51-53,
+        // 101); the view-change and signing traffic above never targets
+        // them.
         return;
     }
   }

@@ -172,6 +172,10 @@ void RqsProposer::on_message(ProcessId from, const sim::Message& m) {
       return;
     }
     default:
+      // rqs-lint: allow(drop) PrepareMsg UpdateMsg NewViewMsg SignReqMsg
+      // rqs-lint: allow(drop) SignAckMsg DecisionPullMsg SyncMsg
+      // All of the above are acceptor-bound (Fig. 14 sends them to the
+      // acceptor set); a proposer is never a recipient.
       return;
   }
 }

@@ -1,0 +1,388 @@
+#include "mc/execution.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/fnv.hpp"
+#include "storage/messages.hpp"
+
+namespace rqs::mc {
+
+namespace {
+
+using scenario::ScheduleEntry;
+
+/// Same deployment mapping as ScenarioRunner::run (src/scenario/runner.cpp):
+/// role kNone clears the Byzantine set; forge strategies per FaultRole.
+storage::StorageClusterConfig make_config(const scenario::ScenarioSpec& spec) {
+  storage::StorageClusterConfig cfg;
+  cfg.reader_count = spec.reader_count;
+  cfg.key_count = spec.key_count;
+  cfg.delta = 0;  // all events at virtual time 0; order is the nondeterminism
+  cfg.compact_history = true;
+  cfg.byzantine =
+      spec.role == scenario::FaultRole::kNone ? ProcessSet{} : spec.byzantine;
+  switch (spec.role) {
+    case scenario::FaultRole::kFabricator:
+      cfg.forge = storage::ByzantineStorageServer::fabricate(
+          TsValue{Timestamp{1000, 0}, spec.fake_value});
+      break;
+    case scenario::FaultRole::kEquivocator:
+      cfg.forge = storage::ByzantineStorageServer::equivocate(
+          TsValue{Timestamp{1000, 0}, spec.fake_value},
+          TsValue{Timestamp{1001, 0}, spec.fake_value - 1});
+      break;
+    default:
+      cfg.forge = nullptr;  // amnesiac: forget_everything()
+      break;
+  }
+  return cfg;
+}
+
+std::uint64_t delivery_id(const sim::Event& ev) {
+  Fnv64 h;
+  h.mix(ev.delivery.from);
+  h.mix(ev.delivery.to);
+  ev.delivery.msg->digest_into(h);
+  return h.digest();
+}
+
+std::uint64_t timer_id(const sim::Event& ev) {
+  Fnv64 h;
+  h.mix(ev.timer.owner);
+  h.mix(ev.timer.arm_seq);
+  return h.digest();
+}
+
+}  // namespace
+
+std::string to_string(const Choice& c) {
+  switch (c.kind) {
+    case Choice::Kind::kInject:
+      return "inject#" + std::to_string(c.id);
+    case Choice::Kind::kDeliver:
+      return "deliver(->" + std::to_string(c.target) + ")#" +
+             std::to_string(c.id & 0xffffu);
+    case Choice::Kind::kTimer:
+      return "timer(" + std::to_string(c.target) + ")#" +
+             std::to_string(c.id & 0xffffu);
+  }
+  return "?";
+}
+
+McExecution::McExecution(const scenario::ScenarioSpec& spec)
+    : spec_(spec),
+      cluster_(scenario::materialize(spec.family), make_config(spec)) {
+  servers_ = cluster_.server_set();
+  n_ = servers_.size();
+
+  if (spec.protocol != scenario::Protocol::kStorage) {
+    unsupported_ = "model checker supports storage specs only";
+    return;
+  }
+  std::vector<std::pair<ObjectId, Value>> write_values;
+  for (const ScheduleEntry& e : spec_.schedule) {
+    switch (e.kind) {
+      case ScheduleEntry::Kind::kWrite:
+        if (e.key >= spec_.key_count) {
+          unsupported_ = "write entry on out-of-range key";
+          return;
+        }
+        for (const auto& [k, v] : write_values) {
+          if (k == e.key && v == e.value) {
+            unsupported_ = "duplicate write value on a key (checker "
+                           "requires unique write values)";
+            return;
+          }
+        }
+        write_values.emplace_back(e.key, e.value);
+        break;
+      case ScheduleEntry::Kind::kRead:
+        if (e.key >= spec_.key_count || e.client >= spec_.reader_count) {
+          unsupported_ = "read entry on out-of-range key/reader";
+          return;
+        }
+        break;
+      case ScheduleEntry::Kind::kCrash:
+        break;
+      case ScheduleEntry::Kind::kPartition:
+        if (e.until != ScheduleEntry::kForever) {
+          unsupported_ = "timed partitions need the clock; only "
+                         "until=forever partitions are explorable";
+          return;
+        }
+        break;
+      case ScheduleEntry::Kind::kPropose:
+      case ScheduleEntry::Kind::kAsynchrony:
+      case ScheduleEntry::Kind::kLoss:
+        unsupported_ = "entry kind not explorable (propose/asynchrony/loss)";
+        return;
+    }
+  }
+}
+
+Choice McExecution::event_choice(const sim::Event& ev) const {
+  Choice c;
+  if (ev.kind() == sim::Event::kDelivery) {
+    c.kind = Choice::Kind::kDeliver;
+    c.id = delivery_id(ev);
+    c.target = ev.delivery.to;
+  } else {
+    assert(ev.kind() == sim::Event::kTimer);  // MC never schedules callbacks
+    c.kind = Choice::Kind::kTimer;
+    c.id = timer_id(ev);
+    c.target = ev.timer.owner;
+  }
+  c.client_side = is_client(c.target);
+  c.global = false;
+  return c;
+}
+
+// rqs-hot-path
+void McExecution::enabled(std::vector<Choice>& out) {
+  out.clear();
+  if (injected_ < spec_.schedule.size()) {
+    const ScheduleEntry& e = spec_.schedule[injected_];
+    Choice c;
+    c.kind = Choice::Kind::kInject;
+    c.id = injected_;
+    c.client_side = true;
+    c.global = e.kind == ScheduleEntry::Kind::kCrash ||
+               e.kind == ScheduleEntry::Kind::kPartition;
+    switch (e.kind) {
+      case ScheduleEntry::Kind::kWrite:
+        c.target = storage::writer_client_id(e.key, spec_.reader_count);
+        break;
+      case ScheduleEntry::Kind::kRead:
+        c.target =
+            storage::reader_client_id(e.key, e.client, spec_.reader_count);
+        break;
+      default:
+        c.target = kInvalidProcess;
+        break;
+    }
+    // rqs-lint: allow(hot-path-alloc) amortized: caller reuses the vector
+    out.push_back(c);
+  }
+  sim::Simulation& sim = cluster_.sim();
+  const std::size_t queued = sim.queued_count();
+  for (std::size_t i = 0; i < queued; ++i) {
+    const sim::Event& ev = sim.queued_event(i);
+    assert(sim.event_live(ev));  // drain_dead() ran after the last fire
+    // rqs-lint: allow(hot-path-alloc) amortized: caller reuses the vector
+    out.push_back(event_choice(ev));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+// rqs-hot-path
+bool McExecution::fire(const Choice& c) {
+  sim::Simulation& sim = cluster_.sim();
+  if (c.kind == Choice::Kind::kInject) {
+    if (c.id != injected_ || injected_ >= spec_.schedule.size()) return false;
+    inject_next();
+  } else {
+    // Fire the queue-order-smallest event matching the canonical key;
+    // payload-identical duplicates commute, so the pick is canonical.
+    std::size_t best = sim.queued_count();
+    std::uint64_t best_key = 0;
+    for (std::size_t i = 0; i < sim.queued_count(); ++i) {
+      const sim::Event& ev = sim.queued_event(i);
+      const bool is_timer = ev.kind() == sim::Event::kTimer;
+      if (is_timer != (c.kind == Choice::Kind::kTimer)) continue;
+      if (ev.kind() == sim::Event::kCallback) continue;
+      const std::uint64_t id = is_timer ? timer_id(ev) : delivery_id(ev);
+      if (id != c.id) continue;
+      if (best == sim.queued_count() || ev.key < best_key) {
+        best = i;
+        best_key = ev.key;
+      }
+    }
+    if (best == sim.queued_count()) return false;
+    sim.fire_queued(best);
+  }
+  drain_dead();
+  refresh_ops();
+  return true;
+}
+
+void McExecution::inject_next() {
+  const ScheduleEntry& e = spec_.schedule[injected_++];
+  switch (e.kind) {
+    case ScheduleEntry::Kind::kWrite: {
+      if (!cluster_.write_done(e.key)) {  // writer busy: entry is a no-op
+        ++skipped_;
+        return;
+      }
+      apply_visibility(storage::writer_client_id(e.key, spec_.reader_count),
+                       e.reachable);
+      ops_.push_back(OpRec{true, e.key, 0, ++clock_, 0, e.value, false});
+      cluster_.async_write(e.key, e.value);
+      return;
+    }
+    case ScheduleEntry::Kind::kRead: {
+      if (!cluster_.read_done(e.key, e.client)) {
+        ++skipped_;
+        return;
+      }
+      apply_visibility(
+          storage::reader_client_id(e.key, e.client, spec_.reader_count),
+          e.reachable);
+      ops_.push_back(
+          OpRec{false, e.key, e.client, ++clock_, 0, kBottom, false});
+      cluster_.async_read(e.key, e.client);
+      return;
+    }
+    case ScheduleEntry::Kind::kCrash:
+      if (e.target < ProcessSet::kMaxProcesses) cluster_.crash(e.target);
+      return;
+    case ScheduleEntry::Kind::kPartition:
+      cluster_.network().block(e.side_a, e.side_b);
+      cluster_.network().block(e.side_b, e.side_a);
+      return;
+    default:  // unreachable: rejected in the constructor
+      return;
+  }
+}
+
+void McExecution::apply_visibility(ProcessId client,
+                                   const ProcessSet& reachable) {
+  sim::Network& net = cluster_.network();
+  const auto it = visibility_.find(client);
+  if (it != visibility_.end()) {
+    net.remove_rule(it->second.first);
+    net.remove_rule(it->second.second);
+    visibility_.erase(it);
+  }
+  if (reachable.empty() || servers_.subset_of(reachable)) return;
+  const ProcessSet hidden = servers_ - reachable;
+  const std::size_t out = net.block(ProcessSet::single(client), hidden);
+  const std::size_t in = net.block(hidden, ProcessSet::single(client));
+  visibility_.emplace(client, std::pair<std::size_t, std::size_t>{out, in});
+}
+
+void McExecution::drain_dead() {
+  // Dead events (deliveries to crashed processes, cancelled timers) are
+  // dispatch no-ops; fire them eagerly so they never appear as choices or
+  // in digests. Dispatching a dead event spawns nothing, so one restart
+  // per removal terminates.
+  sim::Simulation& sim = cluster_.sim();
+  bool again = true;
+  while (again) {
+    again = false;
+    const std::size_t queued = sim.queued_count();
+    for (std::size_t i = 0; i < queued; ++i) {
+      if (!sim.event_live(sim.queued_event(i))) {
+        sim.fire_queued(i);
+        again = true;
+        break;
+      }
+    }
+  }
+}
+
+void McExecution::refresh_ops() {
+  for (OpRec& op : ops_) {
+    if (op.completed) continue;
+    if (op.is_write) {
+      if (cluster_.write_done(op.key)) {
+        op.completed = true;
+        op.responded = ++clock_;
+      }
+    } else if (cluster_.read_done(op.key, op.reader)) {
+      op.completed = true;
+      op.responded = ++clock_;
+      op.value = cluster_.last_read_value(op.key, op.reader);
+    }
+  }
+}
+
+// rqs-hot-path
+std::uint64_t McExecution::digest() {
+  Fnv64 h;
+  h.mix(injected_);
+  h.mix(skipped_);
+  h.mix(clock_);
+
+  // Crash set + process automata, in fixed id order. The id range covers
+  // servers (0..n-1) and the contiguous per-key client blocks.
+  sim::Simulation& sim = cluster_.sim();
+  const ProcessId limit =
+      storage::writer_client_id(spec_.key_count, spec_.reader_count);
+  for (ProcessId id = 0; id < limit; ++id) {
+    if (sim.crashed(id)) h.mix(~std::uint64_t{id});
+    const sim::Process* p = sim.process(id);
+    if (p == nullptr) continue;
+    h.mix(id);
+    p->digest_state(h);
+  }
+
+  // Live pending events as a sorted content multiset: the queue's heap
+  // layout and sequence numbers are schedule history, not state.
+  scratch_.clear();
+  const std::size_t queued = sim.queued_count();
+  for (std::size_t i = 0; i < queued; ++i) {
+    const sim::Event& ev = sim.queued_event(i);
+    Fnv64 eh;
+    eh.mix(static_cast<std::uint64_t>(ev.kind()));
+    if (ev.kind() == sim::Event::kDelivery) {
+      eh.mix(ev.delivery.from);
+      eh.mix(ev.delivery.to);
+      ev.delivery.msg->digest_into(eh);
+    } else {
+      eh.mix(ev.timer.owner);
+      eh.mix(ev.timer.arm_seq);
+    }
+    // rqs-lint: allow(hot-path-alloc) amortized: scratch_ keeps capacity
+    scratch_.push_back(eh.digest());
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  h.mix(scratch_.size());
+  for (const std::uint64_t d : scratch_) h.mix(d);
+
+  // Operation log with logical endpoints: merged states must agree on
+  // every future atomicity verdict, not just on automaton state.
+  h.mix(ops_.size());
+  for (const OpRec& op : ops_) {
+    h.mix(static_cast<std::uint64_t>(op.is_write));
+    h.mix(op.key);
+    h.mix(op.reader);
+    h.mix(op.invoked);
+    h.mix(static_cast<std::uint64_t>(op.completed));
+    h.mix(op.responded);
+    h.mix(static_cast<std::uint64_t>(op.value));
+  }
+  return h.digest();
+}
+
+void McExecution::violations(std::vector<std::string>& out) const {
+  out.clear();
+  for (ObjectId key = 0; key < spec_.key_count; ++key) {
+    storage::AtomicityChecker ck;
+    for (const OpRec& op : ops_) {
+      if (op.is_write && op.key == key && op.completed) {
+        ck.add_write(static_cast<sim::SimTime>(op.invoked),
+                     static_cast<sim::SimTime>(op.responded),
+                     op.value);
+      }
+    }
+    for (const OpRec& op : ops_) {
+      if (op.is_write && op.key == key && !op.completed) {
+        ck.add_pending_write(static_cast<sim::SimTime>(op.invoked), op.value);
+      }
+    }
+    for (const OpRec& op : ops_) {
+      if (!op.is_write && op.key == key && op.completed) {
+        ck.add_read(static_cast<sim::SimTime>(op.invoked),
+                    static_cast<sim::SimTime>(op.responded), op.value);
+      }
+    }
+    const storage::AtomicityChecker::Result res = ck.check();
+    for (const std::string& v : res.violations) {
+      out.push_back("key " + std::to_string(key) + ": " + v);
+    }
+  }
+}
+
+}  // namespace rqs::mc

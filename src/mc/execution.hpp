@@ -1,0 +1,171 @@
+// One controllable execution of a storage ScenarioSpec for the model
+// checker: the simulation is built with delta = 0 so every pending event
+// sits at virtual time 0, and the *selection order* of those events — not
+// the clock — is the nondeterminism the explorer enumerates. Firing order
+// over deliveries and timers models full asynchrony (a timer choice taken
+// before an ack delivery is exactly a late message), so the atomicity
+// verdicts quantify over all asynchronous schedules of the spec, which is
+// the quantifier in the paper's safety claims.
+//
+// Canonical naming. The explorer re-executes prefixes from scratch
+// (stateless search), so every enabled transition carries a Choice key
+// that is stable across replays *and* across Mazurkiewicz-equivalent
+// interleavings: deliveries are named by (from, to, payload digest),
+// timers by (owner, per-owner arm ordinal), injections by schedule index.
+// Simulation-assigned identities (event sequence numbers, TimerId
+// generation/slot encodings) depend on global allocation order and never
+// enter a key or a state digest.
+//
+// Operation endpoints. With delta = 0 the simulation clock is useless for
+// atomicity checking (every operation would overlap every other), so the
+// execution keeps a logical clock that ticks exactly at operation
+// endpoints: once per injection of a client operation and once per
+// completion. Endpoints only move at client-side transitions, and all
+// client-side transitions are declared mutually dependent — their relative
+// order is invariant within an equivalence class — so the recorded
+// intervals, and the per-key AtomicityChecker verdicts computed from them,
+// are a function of the explored state rather than of the particular
+// interleaving that reached it. (Ticking only at endpoints, instead of at
+// every client-side transition, is what lets states that differ merely in
+// how many acks a client has absorbed merge in the digest cache.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "storage/harness.hpp"
+
+namespace rqs::mc {
+
+/// Canonical name of one enabled transition of an McExecution.
+struct Choice {
+  enum class Kind : std::uint8_t { kInject = 0, kDeliver = 1, kTimer = 2 };
+
+  Kind kind{Kind::kInject};
+  /// Canonical content key (schedule index / delivery content hash /
+  /// timer owner+ordinal hash). Together with `kind` it identifies the
+  /// transition within a state; identical keys denote payload-identical
+  /// events whose firings are interchangeable.
+  std::uint64_t id{0};
+  /// The process whose state the transition mutates (kInvalidProcess for
+  /// fault injections with no single target).
+  ProcessId target{kInvalidProcess};
+  /// Participates in the logical client clock (see file comment). All
+  /// client-side transitions are mutually dependent.
+  bool client_side{true};
+  /// Conflicts with everything (crash / partition injections: they change
+  /// which *other* transitions are live).
+  bool global{false};
+
+  [[nodiscard]] std::uint64_t key() const noexcept {
+    return (std::uint64_t{static_cast<std::uint8_t>(kind)} << 62) ^ id;
+  }
+  friend bool operator==(const Choice& a, const Choice& b) noexcept {
+    return a.kind == b.kind && a.id == b.id;
+  }
+  friend bool operator<(const Choice& a, const Choice& b) noexcept {
+    return a.kind != b.kind ? static_cast<std::uint8_t>(a.kind) <
+                                  static_cast<std::uint8_t>(b.kind)
+                            : a.id < b.id;
+  }
+};
+
+/// The independence relation of the partial-order reduction: two
+/// co-enabled transitions commute iff neither is global, they target
+/// different processes, and they are not both client-side (client-side
+/// order defines the logical operation endpoints, so it is never reduced
+/// away). This mirrors the commutativity oracle next to the dispatch
+/// switch in src/sim/simulation.cpp.
+[[nodiscard]] inline bool independent(const Choice& a,
+                                      const Choice& b) noexcept {
+  if (a.global || b.global) return false;
+  if (a.client_side && b.client_side) return false;
+  return a.target != b.target;
+}
+
+[[nodiscard]] std::string to_string(const Choice& c);
+
+class McExecution {
+ public:
+  /// Builds the deployment the spec describes (same family / Byzantine
+  /// role materialization as ScenarioRunner) with delta = 0. Check
+  /// unsupported() before exploring: the model checker handles storage
+  /// specs whose entries are writes, reads, crashes and forever-partitions
+  /// with unique write values per key.
+  explicit McExecution(const scenario::ScenarioSpec& spec);
+
+  McExecution(const McExecution&) = delete;
+  McExecution& operator=(const McExecution&) = delete;
+
+  /// Empty if the spec is explorable; otherwise the reason it is not.
+  [[nodiscard]] const std::string& unsupported() const noexcept {
+    return unsupported_;
+  }
+
+  /// All enabled transitions of the current state, sorted by (kind, id)
+  /// and deduplicated (payload-identical events collapse to one choice).
+  void enabled(std::vector<Choice>& out);
+
+  /// Fires the transition named `c`: injects the next schedule entry or
+  /// dispatches the matching queued event, then drains dead events and
+  /// records operation completions. False iff no enabled transition
+  /// matches (replay of a stale schedule).
+  bool fire(const Choice& c);
+
+  /// Canonical digest of the full state: process automata, live pending
+  /// events (as a content multiset), crash set, injection cursor, logical
+  /// clock and the operation log. Equal across every interleaving of the
+  /// same trace; see digest_state() contracts in sim/process.hpp.
+  [[nodiscard]] std::uint64_t digest();
+
+  /// Canonical atomicity verdicts of the operation log so far (one string
+  /// per violation, keyed per register). Completed operations never
+  /// un-complete, so violations are monotone along an execution.
+  void violations(std::vector<std::string>& out) const;
+
+  [[nodiscard]] std::uint64_t client_steps() const noexcept { return clock_; }
+  [[nodiscard]] std::size_t injected() const noexcept { return injected_; }
+  [[nodiscard]] storage::StorageCluster& cluster() noexcept { return cluster_; }
+
+ private:
+  struct OpRec {
+    bool is_write{false};
+    ObjectId key{0};
+    std::size_t reader{0};      // reader index (reads only)
+    std::uint64_t invoked{0};   // logical client clock
+    std::uint64_t responded{0};
+    Value value{kBottom};
+    bool completed{false};
+  };
+
+  [[nodiscard]] bool is_client(ProcessId id) const noexcept {
+    return id >= storage::kWriterId;
+  }
+  [[nodiscard]] Choice event_choice(const sim::Event& ev) const;
+  void inject_next();
+  void apply_visibility(ProcessId client, const ProcessSet& reachable);
+  void drain_dead();
+  void refresh_ops();
+
+  scenario::ScenarioSpec spec_;
+  storage::StorageCluster cluster_;
+  std::size_t n_{0};            // servers
+  ProcessSet servers_;
+  std::string unsupported_;
+
+  std::size_t injected_{0};
+  std::uint64_t skipped_{0};    // busy-client entries that became no-ops
+  std::uint64_t clock_{0};      // logical clock: ticks at op endpoints only
+  std::vector<OpRec> ops_;
+  // Visibility rules installed per client (rule-id pair), replaced when
+  // the client's next operation carries a different reachable set —
+  // identical semantics to the runner's VisibilityRules.
+  std::map<ProcessId, std::pair<std::size_t, std::size_t>> visibility_;
+
+  std::vector<std::uint64_t> scratch_;  // digest: pending-event hashes
+};
+
+}  // namespace rqs::mc

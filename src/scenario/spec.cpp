@@ -21,6 +21,7 @@ const char* to_string(SystemFamily f) noexcept {
     case SystemFamily::kGraded7: return "graded7";
     case SystemFamily::kMasking4: return "masking4";
     case SystemFamily::kFig1Broken5: return "fig1-broken5";
+    case SystemFamily::kTiny3: return "tiny3";
   }
   return "?";
 }
@@ -34,6 +35,7 @@ RefinedQuorumSystem materialize(SystemFamily f) {
     case SystemFamily::kGraded7: return make_graded_threshold(7, 1, 2, 1, 0);
     case SystemFamily::kMasking4: return make_masking(4, 1, 1);
     case SystemFamily::kFig1Broken5: return make_fig1_broken5();
+    case SystemFamily::kTiny3: return make_graded_threshold(3, 0, 1, 1, 0);
   }
   return make_fig1_fast5();
 }

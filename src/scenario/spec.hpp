@@ -39,6 +39,8 @@ enum class SystemFamily : std::uint8_t {
   kGraded7,      ///< graded threshold n=7, k=1, t=2, r=1, q=0
   kMasking4,     ///< masking system n=4, k=1, t=1 (class 2 only)
   kFig1Broken5,  ///< greedy Fig. 1 system — violates Property 2 (planted bug)
+  kTiny3,        ///< graded threshold n=3, k=0, t=1 (smallest valid crash
+                 ///< system; the model checker's exhaustive-search anchor)
 };
 
 [[nodiscard]] const char* to_string(SystemFamily f) noexcept;

@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/fnv.hpp"
+
 namespace rqs::sim {
 
 class MessagePool;
@@ -83,6 +85,14 @@ class Message {
 
   /// Static type id of the concrete type (== M::kType for exactly one M).
   [[nodiscard]] MessageType type() const noexcept { return type_; }
+
+  /// Folds the message's *content* — type id plus every protocol-visible
+  /// payload field, never the refcount or pool bookkeeping — into `h`. The
+  /// model checker names pending deliveries by this digest, so two
+  /// messages must collide only when delivering either leads to identical
+  /// receiver behavior. Types that can sit in an mc-explored queue must
+  /// override this; the default covers payload-free types.
+  virtual void digest_into(Fnv64& h) const { h.mix(type_); }
 
  protected:
   explicit Message(MessageType t) noexcept : type_(t) {}

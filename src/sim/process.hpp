@@ -27,6 +27,15 @@ class Process {
   /// A timer armed via set_timer fired.
   virtual void on_timer(TimerId timer) { (void)timer; }
 
+  /// Folds the process's protocol-visible state into `h` for the model
+  /// checker's visited-state digest. Two states may collide only if every
+  /// future behavior from them is identical, so overrides must cover every
+  /// field that influences later steps — but must *exclude* values that
+  /// differ between equivalent schedules (TimerId handles: their
+  /// (generation, slot) encoding depends on global allocation order) and
+  /// should exclude observation-only counters so equivalent states merge.
+  virtual void digest_state(Fnv64& h) const { (void)h; }
+
  protected:
   /// Builds a message in the simulation's pool: mutable until passed to
   /// send()/send_all(), recycled after the last receiver's delivery.

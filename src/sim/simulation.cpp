@@ -85,12 +85,13 @@ TimerId Simulation::arm_timer(ProcessId owner, SimTime delay) {
     timer_slots_.push_back(TimerSlot{1, true});
   }
   const TimerId id = (TimerId{timer_slots_[slot].gen} << 32) | slot;
+  if (timer_arms_.size() <= owner) timer_arms_.resize(owner + 1, 0);
   SimTime at = now_ + delay;
   if (at < now_) at = now_;
   Event ev;
   ev.at = at;
   ev.key = next_key(kTimerPhase, Event::kTimer);
-  ev.timer = {id, owner};
+  ev.timer = {id, owner, timer_arms_[owner]++};
   queue_.push(ev);
   return id;
 }
@@ -103,6 +104,55 @@ void Simulation::cancel_timer(TimerId id) {
   if (slot < timer_slots_.size() && timer_slots_[slot].gen == gen) {
     timer_slots_[slot].active = false;
   }
+}
+
+// Commutativity oracle for the model checker (src/mc). It mirrors the
+// dispatch switch below: dispatching an event mutates exactly the state of
+// event_target() (plus simulation bookkeeping that is either excluded from
+// state digests or canonical per trace), so two events with different
+// targets commute — firing them in either order reaches the same state.
+// Events that would not invoke a handler at all (event_live() == false:
+// delivery to a crashed or unregistered process, a cancelled timer) are
+// no-ops up to bookkeeping and are not scheduling choices. Keep these two
+// functions in lockstep with dispatch(): a new early-return there is a new
+// dead-event case here.
+ProcessId Simulation::event_target(const Event& ev) const {
+  switch (ev.kind()) {
+    case Event::kDelivery:
+      return ev.delivery.to;
+    case Event::kTimer:
+      return ev.timer.owner;
+    case Event::kCallback:
+      return kNoProcess;
+  }
+  return kNoProcess;
+}
+
+bool Simulation::event_live(const Event& ev) const {
+  switch (ev.kind()) {
+    case Event::kDelivery:
+      return !crashed(ev.delivery.to) && process(ev.delivery.to) != nullptr;
+    case Event::kTimer: {
+      const auto slot = static_cast<std::uint32_t>(ev.timer.id & 0xffffffffu);
+      const auto gen = static_cast<std::uint32_t>(ev.timer.id >> 32);
+      return slot < timer_slots_.size() && timer_slots_[slot].gen == gen &&
+             timer_slots_[slot].active && !crashed(ev.timer.owner) &&
+             process(ev.timer.owner) != nullptr;
+    }
+    case Event::kCallback:
+      return true;
+  }
+  return false;
+}
+
+bool Simulation::fire_queued(std::size_t i) {
+  if (i >= queue_.size()) return false;
+  const Event ev = queue_.remove_at(i);
+  // Out-of-order firing never rewinds the clock; mc runs with delta = 0,
+  // where every event sits at now() anyway.
+  if (ev.at > now_) now_ = ev.at;
+  dispatch(ev);
+  return true;
 }
 
 // rqs-hot-path

@@ -73,6 +73,12 @@ struct Event {
     struct {
       TimerId id;
       ProcessId owner;
+      // Per-owner arm ordinal (the k-th timer this process ever armed).
+      // Unlike TimerId — whose (generation, slot) encoding depends on the
+      // global allocation order and so differs between equivalent
+      // schedules — this is a process-local count, making it a canonical
+      // name for the timer in model-checker state digests and choice keys.
+      std::uint32_t arm_seq;
     } timer;
     struct {
       std::uint32_t slot;  // index into Simulation::callbacks_
@@ -131,22 +137,31 @@ class EventHeap {
     const Event out = v_.front();
     const Event last = v_.back();
     v_.pop_back();
-    const std::size_t n = v_.size();
-    if (n > 0) {
-      std::size_t i = 0;
-      for (;;) {
-        const std::size_t first = 4 * i + 1;
-        if (first >= n) break;
-        std::size_t best = first;
-        const std::size_t stop = std::min(first + 4, n);
-        for (std::size_t c = first + 1; c < stop; ++c) {
-          if (before(v_[c], v_[best])) best = c;
-        }
-        if (!before(v_[best], last)) break;
-        v_[i] = v_[best];
-        i = best;
+    if (!v_.empty()) sift_down(0, last);
+    return out;
+  }
+
+  /// Removes the event at an arbitrary heap position (replace-with-last,
+  /// then sift whichever direction restores the invariant). The model
+  /// checker uses this to fire queued events out of (at, key) order —
+  /// delivery order *is* the nondeterminism it explores.
+  Event remove_at(std::size_t i) {
+    const Event out = v_[i];
+    const Event last = v_.back();
+    v_.pop_back();
+    if (i < v_.size()) {
+      std::size_t j = i;
+      while (j > 0) {
+        const std::size_t parent = (j - 1) / 4;
+        if (!before(last, v_[parent])) break;
+        v_[j] = v_[parent];
+        j = parent;
       }
-      v_[i] = last;
+      if (j != i) {
+        v_[j] = last;
+      } else {
+        sift_down(i, last);
+      }
     }
     return out;
   }
@@ -154,6 +169,24 @@ class EventHeap {
  private:
   [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
     return a.at != b.at ? a.at < b.at : a.key < b.key;
+  }
+
+  // rqs-hot-path
+  void sift_down(std::size_t i, const Event& e) {
+    const std::size_t n = v_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t stop = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < stop; ++c) {
+        if (before(v_[c], v_[best])) best = c;
+      }
+      if (!before(v_[best], e)) break;
+      v_[i] = v_[best];
+      i = best;
+    }
+    v_[i] = e;
   }
 
   std::vector<Event> v_;
@@ -210,6 +243,37 @@ class Simulation {
   bool step();
 
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+  // --- Model-checker ordering hooks (src/mc) -----------------------------
+  // The schedule-space explorer drives the queue directly: it enumerates
+  // the pending events, asks which would actually reach a handler and whose
+  // state each one mutates (the commutativity oracle, implemented next to
+  // the dispatch switch in simulation.cpp), and fires them in arbitrary
+  // order — selection order, not virtual time, is the nondeterminism it
+  // explores, so mc runs use delta = 0 and every event sits at now().
+
+  /// Sentinel returned by event_target() for events with no single owning
+  /// process (schedule_at callbacks mutate arbitrary state).
+  static constexpr ProcessId kNoProcess = ~ProcessId{0};
+
+  [[nodiscard]] std::size_t queued_count() const noexcept {
+    return queue_.size();
+  }
+  /// The i-th queued event, heap order (no ordering guarantee).
+  [[nodiscard]] const Event& queued_event(std::size_t i) const noexcept {
+    return queue_.raw()[i];
+  }
+  /// True iff dispatching `ev` now would invoke a handler: a delivery to a
+  /// live registered process, or an armed un-cancelled timer of a live
+  /// owner. Dead events are no-ops; the explorer drains them eagerly
+  /// instead of treating them as scheduling choices.
+  [[nodiscard]] bool event_live(const Event& ev) const;
+  /// The process whose state dispatching `ev` mutates (delivery receiver /
+  /// timer owner), or kNoProcess for callbacks.
+  [[nodiscard]] ProcessId event_target(const Event& ev) const;
+  /// Removes the i-th queued event (any heap position) and dispatches it
+  /// at now(). Returns false if `i` is out of range.
+  bool fire_queued(std::size_t i);
 
   /// Statistics: total messages delivered so far.
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
@@ -273,6 +337,9 @@ class Simulation {
   // Timer slots, recycled through a free list; TimerId = (gen << 32)|slot.
   std::vector<TimerSlot> timer_slots_;
   std::vector<std::uint32_t> timer_free_;
+  // Per-owner count of timers ever armed, stamped into Event::timer as the
+  // canonical arm ordinal (see Event).
+  std::vector<std::uint32_t> timer_arms_;
   // Parked schedule_at callbacks, recycled through a free list; heap
   // events reference them by slot so Event stays POD.
   std::vector<std::function<void()>> callbacks_;

@@ -24,6 +24,8 @@ void AbdServer::on_message(ProcessId from, const sim::Message& m) {
       return;
     }
     default:
+      // rqs-lint: allow(drop) AbdWriteAck AbdReadAck — acks flow from
+      // servers to clients; a server never receives one.
       return;
   }
 }
@@ -41,6 +43,8 @@ void AbdWriter::write(Value v, DoneFn done) {
 }
 
 void AbdWriter::on_message(ProcessId from, const sim::Message& m) {
+  // rqs-lint: allow(drop) AbdWriteMsg AbdReadMsg AbdReadAck — the writer
+  // only ever hears write acks; it never issues reads.
   if (m.type() != AbdWriteAck::kType) return;
   const auto* ack = static_cast<const AbdWriteAck*>(&m);
   if (!busy_ || ack->ts != ts_) return;
@@ -97,6 +101,8 @@ void AbdReader::on_message(ProcessId from, const sim::Message& m) {
       return;
     }
     default:
+      // rqs-lint: allow(drop) AbdWriteMsg AbdReadMsg — request messages
+      // are addressed to servers, never to a reading client.
       return;
   }
 }

@@ -163,6 +163,36 @@ class ServerHistory {
   std::vector<Row> rows_;  // sorted by ts
 };
 
+// Content-digest helpers shared by the message digest_into overrides below
+// and the process digest_state overrides in server/reader/writer. They fold
+// protocol values field-by-field (never raw bytes: padding and container
+// internals are not content) so the model checker's state digests depend
+// only on protocol-visible data.
+inline void digest_into(Fnv64& h, const Timestamp& ts) {
+  h.mix(ts.seq);
+  h.mix(ts.writer);
+}
+inline void digest_into(Fnv64& h, const TsValue& c) {
+  digest_into(h, c.ts);
+  h.mix(static_cast<std::uint64_t>(c.val));
+}
+inline void digest_into(Fnv64& h, const QuorumIdSet& s) {
+  h.mix(s.size());
+  for (const QuorumId id : s) h.mix(id);
+}
+inline void digest_into(Fnv64& h, const ServerHistory& hist) {
+  h.mix(hist.slot_count());
+  hist.for_each([&h](Timestamp ts, RoundNumber rnd, const HistorySlot& slot) {
+    digest_into(h, ts);
+    h.mix(rnd);
+    digest_into(h, slot.pair);
+    digest_into(h, slot.sets);
+  });
+}
+inline void digest_into(Fnv64& h, const ProcessSet& s) {
+  for (std::size_t w = 0; w < ProcessSet::kWords; ++w) h.mix(s.word(w));
+}
+
 /// wr<key, ts, v, QC'2, rnd> — sent by the writer in all rounds and by
 /// readers during writebacks. `op` is a per-sender operation nonce echoed
 /// in wr_ack, so a late ack from an earlier operation's round can never
@@ -180,6 +210,16 @@ struct WrMsg final : sim::TypedMessage<WrMsg> {
   TsValue completed{kInitialPair};
 
   [[nodiscard]] std::string_view tag() const override { return "WR"; }
+  void digest_into(Fnv64& h) const override {
+    h.mix(kType);
+    h.mix(key);
+    storage::digest_into(h, ts);
+    h.mix(static_cast<std::uint64_t>(value));
+    storage::digest_into(h, qc2_set);
+    h.mix(rnd);
+    h.mix(op);
+    storage::digest_into(h, completed);
+  }
 };
 RQS_MESSAGE_LAYOUT(WrMsg, 128);
 
@@ -191,6 +231,13 @@ struct WrAck final : sim::TypedMessage<WrAck> {
   std::uint64_t op{0};
 
   [[nodiscard]] std::string_view tag() const override { return "WR_ACK"; }
+  void digest_into(Fnv64& h) const override {
+    h.mix(kType);
+    h.mix(key);
+    storage::digest_into(h, ts);
+    h.mix(rnd);
+    h.mix(op);
+  }
 };
 RQS_MESSAGE_LAYOUT(WrAck, 128);
 
@@ -203,6 +250,12 @@ struct RdMsg final : sim::TypedMessage<RdMsg> {
   RoundNumber rnd{1};
 
   [[nodiscard]] std::string_view tag() const override { return "RD"; }
+  void digest_into(Fnv64& h) const override {
+    h.mix(kType);
+    h.mix(key);
+    h.mix(read_no);
+    h.mix(rnd);
+  }
 };
 RQS_MESSAGE_LAYOUT(RdMsg, 64);
 
@@ -217,6 +270,13 @@ struct RdAck final : sim::TypedMessage<RdAck> {
   ServerHistory history;
 
   [[nodiscard]] std::string_view tag() const override { return "RD_ACK"; }
+  void digest_into(Fnv64& h) const override {
+    h.mix(kType);
+    h.mix(key);
+    h.mix(read_no);
+    h.mix(rnd);
+    storage::digest_into(h, history);
+  }
 };
 RQS_MESSAGE_LAYOUT(RdAck, 128);
 

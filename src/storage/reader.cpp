@@ -240,6 +240,8 @@ void RqsReader::on_message(ProcessId from, const sim::Message& m) {
       return;
     }
     default:
+      // rqs-lint: allow(drop) WrMsg RdMsg — request messages are addressed
+      // to servers; a reader hears only the two ack types above.
       return;
   }
 }
@@ -451,6 +453,33 @@ void RqsReader::finish(Value v) {
   DoneFn done = std::move(done_);
   done_ = nullptr;
   if (done) done(v);
+}
+
+// Model-checker state digest. Covers every field that steers a future step
+// of the read state machine; excludes the timer_ handle (TimerIds are not
+// canonical across equivalent schedules — timer_expired_ carries the
+// protocol-visible bit), last_rounds_ / read_started_ (observation only)
+// and the done_ callback (its liveness is implied by phase_).
+void RqsReader::digest_state(Fnv64& h) const {
+  h.mix(static_cast<std::uint64_t>(phase_));
+  h.mix(read_no_);
+  h.mix(read_rnd_);
+  h.mix(history_.size());
+  for (const ServerHistory& hist : history_) digest_into(h, hist);
+  digest_into(h, responded_);
+  digest_into(h, responded_servers_);
+  digest_into(h, round_acks_);
+  digest_into(h, qc2_prime_);
+  digest_into(h, highest_ts_);
+  h.mix(timer_expired_ ? 1 : 0);
+  digest_into(h, csel_);
+  digest_into(h, completed_);
+  h.mix(wb_round_);
+  h.mix(wb_op_);
+  h.mix(op_seq_);
+  digest_into(h, wb_acks_);
+  digest_into(h, wb_target_);
+  h.mix(total_rounds_);
 }
 
 }  // namespace rqs::storage

@@ -60,6 +60,7 @@ class RqsReader final : public sim::Process {
 
   void on_message(ProcessId from, const sim::Message& m) override;
   void on_timer(sim::TimerId timer) override;
+  void digest_state(Fnv64& h) const override;
 
  private:
   enum class Phase {

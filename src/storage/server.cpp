@@ -79,6 +79,8 @@ void RqsStorageServer::on_message(ProcessId from, const sim::Message& m) {
       return;
     }
     default:
+      // rqs-lint: allow(drop) WrAck RdAck — a server only serves requests;
+      // acks are addressed to clients and can reach it only via a forger.
       return;
   }
 }
@@ -105,6 +107,19 @@ ByzantineStorageServer::ForgeFn ByzantineStorageServer::equivocate(TsValue even,
     forged.slot(pair.ts, 2).pair = pair;
     return forged;
   };
+}
+
+// Model-checker state digest: the per-key histories and floors are the
+// server's whole protocol-visible state. reply_stats_ is observation-only
+// and deliberately excluded so equivalent states merge.
+void RqsStorageServer::digest_state(Fnv64& h) const {
+  h.mix(compact_ ? 1 : 0);
+  h.mix(keys_.size());
+  for (const auto& [key, ks] : keys_) {
+    h.mix(key);
+    digest_into(h, ks.floor);
+    digest_into(h, ks.history);
+  }
 }
 
 }  // namespace rqs::storage

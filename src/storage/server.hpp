@@ -38,6 +38,7 @@ class RqsStorageServer : public sim::Process {
       : sim::Process(sim, id), compact_(compact) {}
 
   void on_message(ProcessId from, const sim::Message& m) override;
+  void digest_state(Fnv64& h) const override;
 
   [[nodiscard]] const ServerHistory& history(ObjectId key = 0) const noexcept {
     static const ServerHistory kEmpty{};

@@ -50,6 +50,8 @@ void RqsWriter::start_round() {
 }
 
 void RqsWriter::on_message(ProcessId from, const sim::Message& m) {
+  // rqs-lint: allow(drop) WrMsg RdMsg RdAck — the writer's only inbound
+  // traffic is write acks; requests go to servers, read acks to readers.
   if (m.type() != WrAck::kType) return;
   const auto* ack = static_cast<const WrAck*>(&m);
   if (round_ == 0) return;
@@ -138,6 +140,20 @@ void RqsWriter::complete() {
   DoneFn done = std::move(done_);
   done_ = nullptr;
   if (done) done();
+}
+
+// Model-checker state digest; same exclusion rules as RqsReader (timer_
+// handle, last_rounds_ / write_started_, the done_ callback).
+void RqsWriter::digest_state(Fnv64& h) const {
+  digest_into(h, ts_);
+  h.mix(static_cast<std::uint64_t>(value_));
+  digest_into(h, completed_);
+  h.mix(round_);
+  h.mix(op_);
+  h.mix(op_seq_);
+  digest_into(h, acked_);
+  digest_into(h, qc2_prime_);
+  h.mix(timer_expired_ ? 1 : 0);
 }
 
 }  // namespace rqs::storage

@@ -51,6 +51,7 @@ class RqsWriter final : public sim::Process {
 
   void on_message(ProcessId from, const sim::Message& m) override;
   void on_timer(sim::TimerId timer) override;
+  void digest_state(Fnv64& h) const override;
 
  private:
   void start_round();

@@ -1,0 +1,61 @@
+// Planted non-total dispatch for rqs_lint's `handler-totality` rule. The
+// message universe is the quoted-include closure (storage/messages.hpp
+// declares WrMsg, WrAck, RdMsg, RdAck); every on_message body must either
+// reference X::kType or name X on an `// rqs-lint: allow(drop)` marker.
+// This file is a lint fixture only — it is never compiled or linked.
+#include "sim/process.hpp"
+#include "storage/messages.hpp"
+
+namespace rqs::lint_fixture {
+
+// Handles WrMsg only: RdMsg, WrAck and RdAck all silently fall through the
+// default arm, so three findings anchor on the signature line.
+class LeakyServer final : public sim::Process {
+ public:
+  using sim::Process::Process;
+  void on_message(ProcessId from, const sim::Message& m) override {  // EXPECT-LINT: handler-totality, handler-totality, handler-totality
+    (void)from;
+    switch (m.type()) {
+      case storage::WrMsg::kType:
+        return;
+      default:
+        return;
+    }
+  }
+  void on_timer(sim::TimerId) override {}
+};
+
+// Total: one type handled, the other three explicitly dropped with a
+// justification — the rule must stay quiet here.
+class QuietClient final : public sim::Process {
+ public:
+  using sim::Process::Process;
+  void on_message(ProcessId from, const sim::Message& m) override {
+    (void)from;
+    // rqs-lint: allow(drop) WrMsg RdMsg RdAck — this client only ever
+    // hears write acks.
+    if (m.type() != storage::WrAck::kType) return;
+  }
+  void on_timer(sim::TimerId) override {}
+};
+
+// A marker that names only one of the two missing types must not cover the
+// other: WrAck is dropped with a reason, RdAck still fires.
+class HalfExcused final : public sim::Process {
+ public:
+  using sim::Process::Process;
+  void on_message(ProcessId from, const sim::Message& m) override {  // EXPECT-LINT: handler-totality
+    (void)from;
+    switch (m.type()) {
+      case storage::WrMsg::kType:
+      case storage::RdMsg::kType:
+        return;
+      default:
+        // rqs-lint: allow(drop) WrAck — fixture drops write acks only.
+        return;
+    }
+  }
+  void on_timer(sim::TimerId) override {}
+};
+
+}  // namespace rqs::lint_fixture

@@ -1,0 +1,42 @@
+// Planted violations styled after the model checker's search loop: the
+// src/mc sources live under the full protocol rule set, so a stray
+// unordered container, a wall-clock read, or an allocation inside the
+// `// rqs-hot-path` exploration inner loop must all fire here exactly as
+// they would there. This file is a lint fixture only — it is never
+// compiled or linked.
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rqs::lint_fixture {
+
+struct FakeChoice {
+  std::uint64_t key;
+};
+
+struct FakeExplorer {
+  // Hash-ordered cache: iteration order would leak into the exploration
+  // digest, the exact failure mode the unordered-iter ban exists for.
+  std::unordered_map<std::uint64_t, int> cache_;  // EXPECT-LINT: unordered-iter
+  std::vector<FakeChoice> path_;
+
+  // rqs-hot-path
+  void arrive(const FakeChoice& c) {
+    path_.push_back(c);  // EXPECT-LINT: hot-path-alloc
+  }
+
+  // rqs-hot-path
+  std::int64_t stamp() const {
+    // Wall-clock timestamps in search state would make every replay
+    // digest unique.
+    return std::chrono::steady_clock::now().time_since_epoch().count();  // EXPECT-LINT: nondet
+  }
+
+  // The steady-state search step: index arithmetic only, no growth — the
+  // rule must not fire on the shape the real explorer uses.
+  // rqs-hot-path
+  const FakeChoice& select(std::size_t i) const { return path_[i % path_.size()]; }
+};
+
+}  // namespace rqs::lint_fixture

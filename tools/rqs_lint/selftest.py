@@ -68,7 +68,8 @@ def main(argv: list[str]) -> int:
     # Every rule must be exercised by at least one fixture, so a rule can
     # never be deleted (or renamed) without this test noticing.
     exercised = {rule for (_, _, rule) in expected}
-    required = {"nondet", "unordered-iter", "hot-path-alloc", "typed-message"}
+    required = {"nondet", "unordered-iter", "hot-path-alloc", "typed-message",
+                "handler-totality"}
     for rule in sorted(required - exercised):
         print(f"UNCOVERED rule '{rule}' has no planted fixture violation")
 
