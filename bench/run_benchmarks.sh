@@ -32,6 +32,7 @@ BENCHES=(
   bench_consensus_latency
   bench_fig1_fast_crash
   bench_graceful_degradation
+  bench_loss_recovery
   bench_mc
   bench_obs_overhead
   bench_resilience_sweep

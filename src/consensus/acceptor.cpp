@@ -81,7 +81,19 @@ void RqsAcceptor::handle_prepare(ProcessId from, const PrepareMsg& m) {
   // Line 31: (w in Prepview => w < view) — not yet prepared in this view.
   const bool fresh = std::all_of(prepview_.begin(), prepview_.end(),
                                  [this](ViewNumber w) { return w < view_; });
-  if (!fresh) return;
+  if (!fresh) {
+    // With retransmission on, a duplicate prepare of the value already
+    // prepared in this view re-announces update1: the proposer retransmits
+    // prepares precisely because the update1 echoes it provoked may have
+    // been lost, and receivers dedup update senders, so re-echoing is
+    // idempotent. (Send-once mode drops duplicates silently, as before.)
+    if (config_.retry.enabled && prep_ == m.value &&
+        prepview_.find(view_) != prepview_.end() &&
+        (view_ == 0 || from == config_.leader_of(view_))) {
+      send_update(1, prep_, view_, kInvalidQuorum);
+    }
+    return;
+  }
   if (view_ != 0) {
     if (from != config_.leader_of(view_)) return;
     if (!vproof_valid(m.vproof, m.vproof_quorum)) return;
@@ -154,15 +166,28 @@ void RqsAcceptor::send_update(RoundNumber step, Value v, ViewNumber view,
 
 void RqsAcceptor::handle_new_view(ProcessId from, const NewViewMsg& m) {
   // Line 21: view must advance, the sender must lead it, proof must match.
-  if (m.view <= view_) return;
+  if (m.view <= view_) {
+    // With retransmission on, a duplicate new_view for the *current* view
+    // restarts the ack flow: the sign requests or the new_view_ack this
+    // acceptor previously produced may have been lost.
+    if (config_.retry.enabled && m.view == view_ && view_ != 0 &&
+        from == config_.leader_of(view_) &&
+        view_proof_valid(m.view_proof, m.view)) {
+      begin_new_view_ack(from, m.view);
+    }
+    return;
+  }
   if (from != config_.leader_of(m.view)) return;
   if (!view_proof_valid(m.view_proof, m.view)) return;
   view_ = m.view;  // line 22
+  begin_new_view_ack(from, m.view);
+}
 
+void RqsAcceptor::begin_new_view_ack(ProcessId from, ViewNumber view) {
   // Lines 23-27: gather missing Updateproof signature sets.
   PendingAck pending;
   pending.proposer = from;
-  pending.view = m.view;
+  pending.view = view;
   for (RoundNumber step = 1; step <= 2; ++step) {
     for (const ViewNumber w : updateview_[step]) {
       const StepView key{step, w};
@@ -322,6 +347,75 @@ void RqsAcceptor::on_decided(Value v) {
 // ---------------------------------------------------------------------------
 // Election module.
 // ---------------------------------------------------------------------------
+
+// Protocol-visible locking/election state, field by field over the ordered
+// containers (never raw bytes). Excluded as observations: timer handles
+// (suspect_armed_/timeout carry the protocol-visible bits), the signer and
+// the tracker's sender tallies beyond the decision itself.
+void RqsAcceptor::digest_state(Fnv64& h) const {
+  const auto mix_set = [&h](const ProcessSet& s) {
+    for (std::size_t w = 0; w < ProcessSet::kWords; ++w) h.mix(s.word(w));
+  };
+  h.mix(view_);
+  h.mix(static_cast<std::uint64_t>(prep_));
+  h.mix(prepview_.size());
+  for (const ViewNumber w : prepview_) h.mix(w);
+  for (const Value v : update_) h.mix(static_cast<std::uint64_t>(v));
+  for (const auto& views : updateview_) {
+    h.mix(views.size());
+    for (const ViewNumber w : views) h.mix(w);
+  }
+  h.mix(updateq_.size());
+  for (const auto& [key, quorums] : updateq_) {
+    h.mix(key.first);
+    h.mix(key.second);
+    h.mix(quorums.size());
+    for (const QuorumId q : quorums) h.mix(q);
+  }
+  h.mix(updateproof_.size());
+  for (const auto& [key, proof] : updateproof_) {
+    h.mix(key.first);
+    h.mix(key.second);
+    h.mix(proof.size());
+    for (const SignedUpdate& su : proof) {
+      h.mix(static_cast<std::uint64_t>(su.value));
+      h.mix(su.view);
+      h.mix(su.step);
+      h.mix(su.signer);
+    }
+  }
+  h.mix(old_.size());
+  for (const std::string& payload : old_) {
+    h.mix(payload.size());
+    for (const char c : payload) h.mix(static_cast<unsigned char>(c));
+  }
+  h.mix(update_senders_.size());
+  for (const auto& [key, senders] : update_senders_) {
+    h.mix(std::get<0>(key));
+    h.mix(std::get<1>(key));
+    h.mix(static_cast<std::uint64_t>(std::get<2>(key)));
+    mix_set(senders);
+  }
+  h.mix(pending_ack_ ? 1 : 0);
+  if (pending_ack_) {
+    h.mix(pending_ack_->proposer);
+    h.mix(pending_ack_->view);
+    h.mix(pending_ack_->needed.size());
+    for (const StepView& key : pending_ack_->needed) {
+      h.mix(key.first);
+      h.mix(key.second);
+    }
+  }
+  h.mix(suspect_stopped_ ? 1 : 0);
+  h.mix(next_view_);
+  h.mix(decision_senders_.size());
+  for (const auto& [v, senders] : decision_senders_) {
+    h.mix(static_cast<std::uint64_t>(v));
+    mix_set(senders);
+  }
+  h.mix(tracker_.decided() ? 1 : 0);
+  h.mix(static_cast<std::uint64_t>(tracker_.decision()));
+}
 
 void RqsAcceptor::arm_suspect_timer() {
   if (suspect_armed_ || suspect_stopped_) return;

@@ -20,6 +20,7 @@ class RqsAcceptor : public sim::Process {
 
   void on_message(ProcessId from, const sim::Message& m) override;
   void on_timer(sim::TimerId timer) override;
+  void digest_state(Fnv64& h) const override;
 
   [[nodiscard]] bool decided() const noexcept { return tracker_.decided(); }
   [[nodiscard]] Value decision() const noexcept { return tracker_.decision(); }
@@ -48,6 +49,7 @@ class RqsAcceptor : public sim::Process {
   void handle_prepare(ProcessId from, const PrepareMsg& m);
   void handle_update(ProcessId from, const UpdateMsg& m);
   void handle_new_view(ProcessId from, const NewViewMsg& m);
+  void begin_new_view_ack(ProcessId from, ViewNumber view);
   void handle_sign_req(ProcessId from, const SignReqMsg& m);
   void handle_sign_ack(ProcessId from, const SignAckMsg& m);
   void send_update(RoundNumber step, Value v, ViewNumber view, QuorumId quorum);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/process_set.hpp"
+#include "common/retry.hpp"
 #include "core/rqs.hpp"
 #include "sim/signature.hpp"
 #include "sim/simulation.hpp"
@@ -25,6 +26,11 @@ struct ConsensusConfig {
   std::vector<ProcessId> proposers;  // leader(view) = proposers[view % size]
   ProcessSet learners;
   sim::SignatureAuthority* authority{nullptr};
+  /// Retransmission policy shared by proposers and acceptors (disabled by
+  /// default — send-once paper automata). Enabled, proposers retransmit
+  /// their current phase's broadcast on a backoff schedule and acceptors
+  /// answer duplicate prepares by re-announcing update1.
+  RetryPolicy::Config retry{};
 
   [[nodiscard]] ProcessId leader_of(ViewNumber view) const {
     return proposers[static_cast<std::size_t>(view % proposers.size())];

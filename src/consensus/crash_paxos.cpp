@@ -50,7 +50,11 @@ void PaxosProposer::start_round() {
   auto msg = make_msg<P1aMsg>();
   msg->ballot = ballot_;
   send_all(acceptors_, std::move(msg));
-  retry_timer_ = set_timer(8 * sim().delta());
+  // Jittered capped-exponential backoff instead of the old fixed 8-Delta
+  // timer: two preempting proposers draw distinct per-process delays, so
+  // one of them always gets a full phase-1+2 window to itself eventually.
+  retry_timer_ = set_timer(RetryPolicy::delay(
+      retry_, static_cast<std::uint64_t>(id()) << 32, attempt_ + 1));
 }
 
 void PaxosProposer::on_message(ProcessId from, const sim::Message& m) {
@@ -94,6 +98,7 @@ void PaxosProposer::on_message(ProcessId from, const sim::Message& m) {
 void PaxosProposer::on_timer(sim::TimerId timer) {
   if (timer != retry_timer_ || phase_ == Phase::kIdle) return;
   // Preempted or partitioned: retry with a higher ballot.
+  ++attempt_;
   ballot_ = Ballot{ballot_.round + 1, id()};
   start_round();
 }

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/process_set.hpp"
+#include "common/retry.hpp"
 #include "common/types.hpp"
 #include "sim/process.hpp"
 
@@ -69,8 +70,16 @@ class PaxosAcceptor final : public sim::Process {
 
 class PaxosProposer final : public sim::Process {
  public:
-  PaxosProposer(sim::Simulation& sim, ProcessId id, ProcessSet acceptors)
-      : sim::Process(sim, id), acceptors_(acceptors) {}
+  /// `retry` tunes the preemption backoff. Unlike the RQS roles this one is
+  /// always on (a send-once Paxos proposer cannot terminate once preempted);
+  /// the jittered delay keeps two concurrent proposers from duelling in
+  /// lockstep, which the old fixed 8-Delta timer did forever.
+  PaxosProposer(sim::Simulation& sim, ProcessId id, ProcessSet acceptors,
+                RetryPolicy::Config retry = {})
+      : sim::Process(sim, id), acceptors_(acceptors), retry_(retry) {
+    retry_.enabled = true;
+    if (retry_.base_delay <= 0) retry_.base_delay = 8 * sim.delta();
+  }
 
   /// Starts proposing v; retries with higher ballots (after a timeout) if
   /// preempted, until some value is chosen.
@@ -90,6 +99,8 @@ class PaxosProposer final : public sim::Process {
   ProcessSet responders_;
   std::optional<Ballot> best_accepted_;
   Value best_value_{kBottom};
+  RetryPolicy::Config retry_;
+  std::uint32_t attempt_{0};
   sim::TimerId retry_timer_{0};
 };
 

@@ -28,6 +28,10 @@ struct ClusterConfig {
   Value fake_value{-99};            ///< the value Byzantine roles push
   bool byzantine_proposer{false};   ///< proposer 0 proposes fake_value twice
   sim::SimTime delta{sim::kDefaultDelta};
+  /// Retransmission policy for proposers and acceptors (disabled by
+  /// default — the send-once paper automata). The scenario runner enables
+  /// it whenever a spec schedules loss or duplication faults.
+  RetryPolicy::Config retry{};
 };
 
 class ConsensusCluster {

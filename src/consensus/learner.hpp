@@ -60,6 +60,20 @@ class RqsLearner final : public sim::Process {
     pull_timer_ = set_timer(kPullPeriodDeltas * sim().delta());
   }
 
+  /// Protocol-visible state only (learn_time_ and the timer handle are
+  /// observations) — used by the duplicate-delivery equivalence suite.
+  void digest_state(Fnv64& h) const override {
+    h.mix(learned_ ? 1 : 0);
+    h.mix(static_cast<std::uint64_t>(value_));
+    h.mix(tracker_.decided() ? 1 : 0);
+    h.mix(static_cast<std::uint64_t>(tracker_.decision()));
+    h.mix(decision_senders_.size());
+    for (const auto& [v, s] : decision_senders_) {
+      h.mix(static_cast<std::uint64_t>(v));
+      for (std::size_t w = 0; w < ProcessSet::kWords; ++w) h.mix(s.word(w));
+    }
+  }
+
  private:
   static constexpr sim::SimTime kPullPeriodDeltas = 10;
 

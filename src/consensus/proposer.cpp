@@ -40,6 +40,7 @@ void RqsProposer::run_propose() {
     ob->phase(now(), id(), obs::kPhaseProposeConsult, view_);
   }
   consulting_ = true;
+  prepare_sent_ = false;
   acks_.clear();
   faulty_.clear();
   prepared_quorums_.clear();
@@ -47,17 +48,66 @@ void RqsProposer::run_propose() {
   msg->view = view_;
   msg->view_proof = view_proof_;
   send_all(config_.acceptors, std::move(msg));
+  if (config_.retry.enabled) {
+    attempt_ = 0;
+    arm_retry();
+  }
 }
 
 void RqsProposer::send_prepare(Value v, const VProof& vproof, ProcessSet q) {
+  prepared_value_ = v;
+  prepared_vproof_ = vproof;
+  prepared_quorum_ = q;
+  prepare_sent_ = true;
+  broadcast_prepare();
+  if (config_.retry.enabled) {
+    attempt_ = 0;
+    arm_retry();
+  }
+}
+
+void RqsProposer::broadcast_prepare() {
   for (const ProcessId target : config_.acceptors) {
     auto msg = make_msg<PrepareMsg>();
-    msg->value = prepare_value_for(v, target);
+    msg->value = prepare_value_for(prepared_value_, target);
     msg->view = view_;
-    msg->vproof = vproof;
-    msg->vproof_quorum = q;
+    msg->vproof = prepared_vproof_;
+    msg->vproof_quorum = prepared_quorum_;
     send(target, std::move(msg));
   }
+}
+
+void RqsProposer::arm_retry() {
+  if (retry_armed_) cancel_timer(retry_timer_);
+  retry_armed_ = true;
+  retry_timer_ = set_timer(RetryPolicy::delay(
+      config_.retry, (static_cast<std::uint64_t>(id()) << 32) ^ view_,
+      attempt_ + 1));
+}
+
+void RqsProposer::handle_retry() {
+  ++attempt_;
+  if (!RetryPolicy::allows(config_.retry, attempt_)) {
+    // Give-up: stop resending and let the acceptors' suspicion timers
+    // drive a view change toward the next leader (Fig. 14 lines 1-5).
+    if (auto* ob = sim().observer()) ob->count("consensus.propose.giveup");
+    return;
+  }
+  if (auto* ob = sim().observer()) ob->count("consensus.propose.retransmit");
+  if (consulting_) {
+    auto msg = make_msg<NewViewMsg>();
+    msg->view = view_;
+    msg->view_proof = view_proof_;
+    send_all(config_.acceptors, std::move(msg));
+  } else if (prepare_sent_) {
+    broadcast_prepare();
+  }
+  // Re-probe alongside every retransmission: sync re-arms stopped-clock
+  // acceptors' suspicion timers and the pull surfaces decisions this
+  // proposer missed (which is what finally halts it).
+  send_all(config_.acceptors, make_msg<SyncMsg>());
+  send_all(config_.acceptors, make_msg<DecisionPullMsg>());
+  arm_retry();
 }
 
 bool RqsProposer::ack_valid(const NewViewAckMsg& m) const {
@@ -166,6 +216,10 @@ void RqsProposer::on_message(ProcessId from, const sim::Message& m) {
       for (const Quorum& q : config_.rqs->quorums()) {
         if (q.set.subset_of(senders)) {
           halted_ = true;
+          if (retry_armed_) {
+            cancel_timer(retry_timer_);
+            retry_armed_ = false;
+          }
           return;
         }
       }
@@ -180,8 +234,50 @@ void RqsProposer::on_message(ProcessId from, const sim::Message& m) {
   }
 }
 
+// Protocol-visible proposer state for the duplicate-delivery equivalence
+// suite; timer handles and the signer are excluded as observations.
+void RqsProposer::digest_state(Fnv64& h) const {
+  const auto mix_set = [&h](const ProcessSet& s) {
+    for (std::size_t w = 0; w < ProcessSet::kWords; ++w) h.mix(s.word(w));
+  };
+  h.mix(static_cast<std::uint64_t>(value_));
+  h.mix(proposed_ ? 1 : 0);
+  h.mix(halted_ ? 1 : 0);
+  h.mix(view_);
+  h.mix(consulting_ ? 1 : 0);
+  h.mix(acks_.size());
+  for (const auto& [a, data] : acks_) {
+    h.mix(a);
+    h.mix(data.view);
+    h.mix(static_cast<std::uint64_t>(data.prep));
+  }
+  h.mix(faulty_.size());
+  for (const ProcessSet& q : faulty_) mix_set(q);
+  h.mix(prepared_quorums_.size());
+  for (const ProcessSet& q : prepared_quorums_) mix_set(q);
+  h.mix(view_changes_.size());
+  for (const auto& [next, changes] : view_changes_) {
+    h.mix(next);
+    h.mix(changes.size());
+    for (const auto& [a, change] : changes) h.mix(a);
+  }
+  h.mix(decision_senders_.size());
+  for (const auto& [v, senders] : decision_senders_) {
+    h.mix(static_cast<std::uint64_t>(v));
+    mix_set(senders);
+  }
+  h.mix(prepare_sent_ ? 1 : 0);
+  h.mix(static_cast<std::uint64_t>(prepared_value_));
+}
+
 void RqsProposer::on_timer(sim::TimerId timer) {
-  if (timer != sync_timer_ || !sync_pending_ || halted_) return;
+  if (halted_) return;
+  if (retry_armed_ && timer == retry_timer_) {
+    retry_armed_ = false;
+    if (proposed_) handle_retry();
+    return;
+  }
+  if (timer != sync_timer_ || !sync_pending_) return;
   sync_pending_ = false;
   send_all(config_.acceptors, make_msg<SyncMsg>());
   send_all(config_.acceptors, make_msg<DecisionPullMsg>());

@@ -30,6 +30,7 @@ class RqsProposer : public sim::Process {
 
   void on_message(ProcessId from, const sim::Message& m) override;
   void on_timer(sim::TimerId timer) override;
+  void digest_state(Fnv64& h) const override;
 
  protected:
   /// Hook for Byzantine subclasses: the value actually put in the prepare
@@ -45,7 +46,10 @@ class RqsProposer : public sim::Process {
   void run_propose();
   void try_choose_and_prepare();
   void send_prepare(Value v, const VProof& vproof, ProcessSet q);
+  void broadcast_prepare();
   [[nodiscard]] bool ack_valid(const NewViewAckMsg& m) const;
+  void arm_retry();
+  void handle_retry();
 
   ConsensusConfig config_;
   sim::Signer signer_;
@@ -67,6 +71,19 @@ class RqsProposer : public sim::Process {
   std::map<Value, ProcessSet> decision_senders_;
   sim::TimerId sync_timer_{0};
   bool sync_pending_{false};
+
+  // Retransmission state (dormant unless config.retry.enabled). The
+  // proposer resends its current phase's broadcast — the consult new_view
+  // or the last prepare — plus a sync/decision probe, on a backoff
+  // schedule; past max_attempts it goes quiet and the acceptors' exponen-
+  // tially backed-off suspicion timers (the view-change ladder) take over.
+  sim::TimerId retry_timer_{0};
+  bool retry_armed_{false};
+  std::uint32_t attempt_{0};  // retransmissions within the current view
+  Value prepared_value_{kNil};
+  VProof prepared_vproof_;
+  ProcessSet prepared_quorum_;
+  bool prepare_sent_{false};
 };
 
 /// A Byzantine proposer that equivocates in the initial view: even-id

@@ -115,7 +115,9 @@ McExecution::McExecution(const scenario::ScenarioSpec& spec)
       case ScheduleEntry::Kind::kPropose:
       case ScheduleEntry::Kind::kAsynchrony:
       case ScheduleEntry::Kind::kLoss:
-        unsupported_ = "entry kind not explorable (propose/asynchrony/loss)";
+      case ScheduleEntry::Kind::kDuplicate:
+        unsupported_ =
+            "entry kind not explorable (propose/asynchrony/loss/duplicate)";
         return;
     }
   }

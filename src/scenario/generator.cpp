@@ -57,6 +57,7 @@ ScenarioGenerator::Options ScenarioGenerator::fig1_hunt() {
   o.max_partitions = 1;
   o.asynchrony_probability = 0.1;
   o.loss_probability = 0.0;
+  o.duplication_probability = 0.0;
   return o;
 }
 
@@ -218,13 +219,25 @@ ScenarioSpec ScenarioGenerator::generate(std::uint64_t seed) const {
     spec.schedule.push_back(e);
   }
 
-  // Lossy window (the consensus model allows lossy channels; storage runs
-  // keep safety checking but waive liveness claims under loss).
+  // Lossy window (the consensus model allows lossy channels). Windows are
+  // finite and p <= 0.5, so the retransmission layer the runner arms for
+  // fault-scheduled specs must recover — liveness stays asserted.
   if (rng.chance(opts_.loss_probability)) {
     ScheduleEntry e;
     e.kind = ScheduleEntry::Kind::kLoss;
     e.at = time_in(0, horizon);
-    e.probability = 0.05 + 0.25 * rng.uniform01();
+    e.probability = 0.05 + 0.45 * rng.uniform01();
+    e.until = e.at + time_in(5 * kDelta, 15 * kDelta);
+    spec.schedule.push_back(e);
+  }
+
+  // Duplication window: deliver-twice with a late copy, stressing receiver
+  // idempotence and reordering tolerance.
+  if (rng.chance(opts_.duplication_probability)) {
+    ScheduleEntry e;
+    e.kind = ScheduleEntry::Kind::kDuplicate;
+    e.at = time_in(0, horizon);
+    e.probability = 0.1 + 0.9 * rng.uniform01();
     e.until = e.at + time_in(5 * kDelta, 15 * kDelta);
     spec.schedule.push_back(e);
   }

@@ -37,7 +37,13 @@ class ScenarioGenerator {
     std::size_t max_crashes{2};
     std::size_t max_partitions{2};
     double asynchrony_probability{0.35};
-    double loss_probability{0.25};  ///< consensus only; storage never retransmits
+    /// P[schedule a finite lossy window]. Both protocols: the runner arms
+    /// the retransmission layer for fault-scheduled specs, so loss stresses
+    /// liveness recovery as well as safety.
+    double loss_probability{0.25};
+    /// P[schedule a finite duplication window] — every message may be
+    /// delivered twice, the copy late (doubles as reordering stress).
+    double duplication_probability{0.25};
     sim::SimTime horizon_deltas{40};  ///< op/fault times land in [0, horizon]
   };
 

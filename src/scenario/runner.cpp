@@ -6,7 +6,7 @@
 #include <optional>
 
 #include "common/fnv.hpp"
-#include "common/rng.hpp"
+#include "common/retry.hpp"
 #include "consensus/harness.hpp"
 #include "obs/format.hpp"
 #include "obs/observer.hpp"
@@ -91,10 +91,15 @@ class VisibilityRules {
   std::map<ProcessId, std::pair<std::size_t, std::size_t>> installed_;
 };
 
+/// Salts separating the per-link loss and duplication draw streams derived
+/// from one spec seed.
+constexpr std::uint64_t kLossSeedSalt = 0x10551055cafef00dULL;
+constexpr std::uint64_t kDupSeedSalt = 0xd0b1e0d0b1e5eedULL;
+
 /// Installs the fault entries shared by both protocols. Returns false if
 /// the entry kind is a client operation the caller must handle.
 bool apply_fault_entry(sim::Simulation& sim, const ScheduleEntry& e,
-                       std::size_t universe, const std::shared_ptr<Rng>& loss_rng) {
+                       std::size_t universe, std::uint64_t seed) {
   sim::Network& net = sim.network();
   switch (e.kind) {
     case ScheduleEntry::Kind::kCrash:
@@ -127,15 +132,27 @@ bool apply_fault_entry(sim::Simulation& sim, const ScheduleEntry& e,
       return true;
     }
     case ScheduleEntry::Kind::kLoss: {
-      const double p = e.probability;
-      const std::size_t id = net.add_rule(
-          [p, loss_rng](ProcessId, ProcessId, sim::SimTime, const sim::Message&)
-              -> std::optional<std::optional<sim::SimTime>> {
-            if (loss_rng->chance(p)) return std::optional<sim::SimTime>{};
-            return std::nullopt;  // fall through to older rules / default
-          });
+      // Counter-based per-link draw streams (Network::set_loss): the k-th
+      // send on a link always consumes the same draw, so the drop pattern
+      // is a pure function of (seed, link, send ordinal) — independent of
+      // how other links interleave. Overlapping windows would clobber each
+      // other's probability; like asynchrony, the generator emits at most
+      // one window per scenario and restores run in schedule order.
+      const std::uint64_t loss_seed = seed ^ kLossSeedSalt;
+      net.set_loss(e.probability, loss_seed);
       if (e.until != ScheduleEntry::kForever) {
-        sim.schedule_at(e.until, [&net, id] { net.remove_rule(id); });
+        sim.schedule_at(e.until,
+                        [&net, loss_seed] { net.set_loss(0.0, loss_seed); });
+      }
+      return true;
+    }
+    case ScheduleEntry::Kind::kDuplicate: {
+      const std::uint64_t dup_seed = seed ^ kDupSeedSalt;
+      net.set_duplication(e.probability, dup_seed);
+      if (e.until != ScheduleEntry::kForever) {
+        sim.schedule_at(e.until, [&net, dup_seed] {
+          net.set_duplication(0.0, dup_seed);
+        });
       }
       return true;
     }
@@ -183,6 +200,38 @@ bool has_permanent_window(const std::vector<ScheduleEntry>& entries,
   });
 }
 
+/// A loss window the retransmission layer cannot outlive: permanent *and*
+/// total. Finite windows end (the next retransmission after `until` gets
+/// through) and sub-1.0 probabilities let independent per-send draws
+/// eventually succeed, so neither voids the paper's termination claims once
+/// the runner arms the retry layer.
+bool has_unrecoverable_loss(const std::vector<ScheduleEntry>& entries) {
+  return std::any_of(entries.begin(), entries.end(), [](const ScheduleEntry& e) {
+    return e.kind == ScheduleEntry::Kind::kLoss &&
+           e.until == ScheduleEntry::kForever && e.probability >= 1.0;
+  });
+}
+
+/// True iff the spec schedules message-level faults (loss or duplication);
+/// exactly then does the runner arm the retry/dedup layer. Loss-free specs
+/// keep it disabled so their trace digests stay byte-identical to the
+/// send-once automata.
+bool has_message_faults(const std::vector<ScheduleEntry>& entries) {
+  return has_entry(entries, ScheduleEntry::Kind::kLoss) ||
+         has_entry(entries, ScheduleEntry::Kind::kDuplicate);
+}
+
+/// Retry policy the runner arms for fault-scheduled specs: backoff from the
+/// harness default (4 Delta) and failover / give-up after four
+/// retransmissions of the same round.
+RetryPolicy::Config armed_retry(const ScenarioSpec& spec) {
+  RetryPolicy::Config retry;
+  retry.enabled = true;
+  retry.max_attempts = 4;
+  retry.seed = spec.seed;
+  return retry;
+}
+
 ProcessSet crash_targets(const std::vector<ScheduleEntry>& entries,
                          std::size_t universe) {
   ProcessSet out;
@@ -217,11 +266,14 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
   const ProcessSet byz =
       spec.role == FaultRole::kNone ? ProcessSet{} : spec.byzantine;
 
+  const std::vector<ScheduleEntry> entries = sorted_schedule(spec);
+
   storage::StorageClusterConfig cfg;
   cfg.reader_count = spec.reader_count;
   cfg.key_count = spec.key_count;
   cfg.compact_history = opts_.compact_history;
   cfg.byzantine = byz;
+  if (has_message_faults(entries)) cfg.retry = armed_retry(spec);
   switch (spec.role) {
     case FaultRole::kFabricator:
       cfg.forge = storage::ByzantineStorageServer::fabricate(
@@ -240,15 +292,13 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
   const std::unique_ptr<obs::Observer> owned_ob = make_run_observer(opts_, ob);
   if (ob != nullptr) sim.set_observer(ob);
 
-  const std::vector<ScheduleEntry> entries = sorted_schedule(spec);
-  auto loss_rng = std::make_shared<Rng>(spec.seed ^ 0x10551055cafef00dULL);
   VisibilityRules visibility(cluster.network(), servers);
   std::vector<OpRecord> ops;
 
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const ScheduleEntry& e = entries[i];
     sim.schedule_at(e.at, [&, i, e] {
-      if (apply_fault_entry(sim, e, n, loss_rng)) return;
+      if (apply_fault_entry(sim, e, n, spec.seed)) return;
       switch (e.kind) {
         case ScheduleEntry::Kind::kWrite:
           if (e.key >= spec.key_count || !cluster.write_done(e.key)) {
@@ -326,10 +376,12 @@ ScenarioResult ScenarioRunner::run_storage(const ScenarioSpec& spec) const {
   }
 
   // Liveness, only where Theorem 2-style termination applies: valid RQS,
-  // Byzantine coalition inside B, lossless links.
+  // Byzantine coalition inside B, and links that eventually deliver. With
+  // the retry layer armed for fault-scheduled specs, finite loss windows
+  // and sub-1.0 drop probabilities are recoverable; only a permanent total
+  // blackout voids the claim.
   const bool spec_valid = family_valid(spec.family) && sys.adversary().contains(byz);
-  if (opts_.check_liveness && spec_valid &&
-      !has_entry(entries, ScheduleEntry::Kind::kLoss) &&
+  if (opts_.check_liveness && spec_valid && !has_unrecoverable_loss(entries) &&
       !has_permanent_window(entries, ScheduleEntry::Kind::kAsynchrony)) {
     const ProcessSet correct = servers - crash_targets(entries, n) - byz;
     for (const OpRecord& op : ops) {
@@ -380,11 +432,14 @@ ScenarioResult ScenarioRunner::run_consensus(const ScenarioSpec& spec) const {
   const ProcessSet byz =
       spec.role == FaultRole::kNone ? ProcessSet{} : spec.byzantine;
 
+  const std::vector<ScheduleEntry> entries = sorted_schedule(spec);
+
   consensus::ClusterConfig cfg;
   cfg.proposer_count = spec.proposer_count;
   cfg.learner_count = spec.learner_count;
   cfg.fake_value = spec.fake_value;
   cfg.byzantine_proposer = spec.byzantine_proposer;
+  if (has_message_faults(entries)) cfg.retry = armed_retry(spec);
   switch (spec.role) {
     case FaultRole::kAmnesiac: cfg.amnesiac_acceptors = byz; break;
     case FaultRole::kPrepLiar: cfg.prep_liar_acceptors = byz; break;
@@ -396,15 +451,13 @@ ScenarioResult ScenarioRunner::run_consensus(const ScenarioSpec& spec) const {
   const std::unique_ptr<obs::Observer> owned_ob = make_run_observer(opts_, ob);
   if (ob != nullptr) sim.set_observer(ob);
 
-  const std::vector<ScheduleEntry> entries = sorted_schedule(spec);
-  auto loss_rng = std::make_shared<Rng>(spec.seed ^ 0x10551055cafef00dULL);
   std::vector<OpRecord> proposals;
   std::vector<bool> proposed(spec.proposer_count, false);
 
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const ScheduleEntry& e = entries[i];
     sim.schedule_at(e.at, [&, i, e] {
-      if (apply_fault_entry(sim, e, n, loss_rng)) return;
+      if (apply_fault_entry(sim, e, n, spec.seed)) return;
       if (e.kind != ScheduleEntry::Kind::kPropose ||
           e.client >= spec.proposer_count || proposed[e.client]) {
         ++res.ops_skipped;
@@ -471,16 +524,19 @@ ScenarioResult ScenarioRunner::run_consensus(const ScenarioSpec& spec) const {
   // Termination: promised once a correct proposer has proposed, the
   // Byzantine coalition is inside B, partitions and asynchrony windows are
   // bounded and a fully-correct quorum remains (view changes and the
-  // learners' pull timers recover from those). Message *loss* voids the
-  // claim entirely: the initial proposal is never retransmitted, so a lossy
-  // window can swallow it for good — loss scenarios stress safety only.
+  // learners' pull timers recover from those). Message loss used to void
+  // the claim entirely — the send-once proposal could be swallowed for
+  // good. With the retry layer armed for fault-scheduled specs, proposers
+  // retransmit until decisions quorum up, so only a permanent total
+  // blackout still voids termination; finite windows and sub-1.0 drop
+  // probabilities are recovered from.
   const bool correct_proposed = std::any_of(
       proposals.begin(), proposals.end(), [&](const OpRecord& p) {
         return !(spec.byzantine_proposer && p.client == 0);
       });
   const ProcessSet correct = ProcessSet::universe(n) - crash_targets(entries, n) - byz;
   if (opts_.check_liveness && spec_valid && correct_proposed &&
-      !has_entry(entries, ScheduleEntry::Kind::kLoss) &&
+      !has_unrecoverable_loss(entries) &&
       !has_permanent_window(entries, ScheduleEntry::Kind::kPartition) &&
       !has_permanent_window(entries, ScheduleEntry::Kind::kAsynchrony) &&
       sys.best_available(correct)) {

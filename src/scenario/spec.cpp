@@ -94,6 +94,10 @@ std::string ScheduleEntry::to_string() const {
       out += "loss p=" + std::to_string(probability) + " until " +
              time_to_string(until);
       break;
+    case Kind::kDuplicate:
+      out += "duplicate p=" + std::to_string(probability) + " until " +
+             time_to_string(until);
+      break;
   }
   return out;
 }

@@ -75,6 +75,8 @@ struct ScheduleEntry {
     kAsynchrony,  ///< default link delay raised to `delay` in the window
                   ///< (partitions and visibility drops still win)
     kLoss,        ///< each message dropped with `probability` in the window
+    kDuplicate,   ///< each message delivered twice with `probability` in the
+                  ///< window; the copy arrives later (doubles as reordering)
   };
 
   /// `until` value meaning "never lifted".
@@ -90,9 +92,9 @@ struct ScheduleEntry {
                                ///< paper's "reads from quorum Q" in one entry.
   ProcessId target{kInvalidProcess};  ///< kCrash
   ProcessSet side_a, side_b;   ///< kPartition
-  sim::SimTime until{0};       ///< kPartition/kAsynchrony/kLoss window end
+  sim::SimTime until{0};       ///< kPartition/kAsynchrony/kLoss/kDuplicate window end
   sim::SimTime delay{0};       ///< kAsynchrony per-message delay
-  double probability{0.0};     ///< kLoss drop probability
+  double probability{0.0};     ///< kLoss drop / kDuplicate duplication probability
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -20,7 +20,30 @@ void Network::send_slow(ProcessId from, ProcessId to, MessagePtr msg) {
     }
   }
   if (!decided) delay = default_delay_;
-  if (loss_probability_ > 0.0 && loss_draw_ && loss_draw_() < loss_probability_) {
+  if (loss_probability_ <= 0.0 && dup_probability_ <= 0.0) {
+    sim_.deliver_at(sim_.now() + *delay, from, to, std::move(msg));
+    return;
+  }
+  // Seeded counter-based per-link streams: the k-th send on (from, to)
+  // consumes draw ordinals 2k (primary) and 2k+1 (duplicate copy), so
+  // every drop/duplicate decision is a pure function of (seed, from, to,
+  // send ordinal) — schedule-order invariant by construction.
+  const std::uint64_t k = next_ordinal(from, to);
+  if (dup_probability_ > 0.0 &&
+      link_draw(dup_seed_, from, to, 2 * k) < dup_probability_ &&
+      !(loss_probability_ > 0.0 &&
+        link_draw(loss_seed_, from, to, 2 * k + 1) < loss_probability_)) {
+    // The copy lands with a deterministic extra delay in
+    // [1, 2 * default_delay], so duplication also exercises reordering.
+    const auto span =
+        static_cast<std::uint64_t>(std::max<SimTime>(2 * default_delay_, 1));
+    const auto extra = static_cast<SimTime>(
+        1 + link_hash(dup_seed_, from, to, 2 * k + 1) % span);
+    ++duplicated_;
+    sim_.deliver_at(sim_.now() + *delay + extra, from, to, msg);
+  }
+  if (loss_probability_ > 0.0 &&
+      link_draw(loss_seed_, from, to, 2 * k) < loss_probability_) {
     ++dropped_;
     return;
   }
@@ -69,9 +92,14 @@ std::size_t Network::fixed_delay(ProcessSet froms, ProcessSet tos, SimTime delay
   });
 }
 
-void Network::set_loss(double probability, std::function<double()> draw) {
+void Network::set_loss(double probability, std::uint64_t seed) {
   loss_probability_ = probability;
-  loss_draw_ = std::move(draw);
+  loss_seed_ = seed;
+}
+
+void Network::set_duplication(double probability, std::uint64_t seed) {
+  dup_probability_ = probability;
+  dup_seed_ = seed;
 }
 
 }  // namespace rqs::sim

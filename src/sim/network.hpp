@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/process_set.hpp"
+#include "common/retry.hpp"
 #include "sim/message.hpp"
 #include "sim/simulation.hpp"
 
@@ -97,7 +98,7 @@ class Network {
     if (sim_.crashed(from)) return;
     ++sent_;
     sent_by_tag_.bump(msg->tag());
-    if (rules_.empty() && loss_probability_ <= 0.0) {
+    if (rules_.empty() && loss_probability_ <= 0.0 && dup_probability_ <= 0.0) {
       // Fast path: synchronous fault-free steady state — no rule scan, no
       // loss draw, straight into the event queue.
       sim_.deliver_at(sim_.now() + default_delay_, from, to, std::move(msg));
@@ -129,11 +130,26 @@ class Network {
   [[nodiscard]] SimTime default_delay() const noexcept { return default_delay_; }
 
   /// Message-loss probability applied after rules (consensus model allows
-  /// lossy channels). 0 by default; uses the given rng draw function.
-  void set_loss(double probability, std::function<double()> draw);
+  /// lossy channels). 0 by default. Loss decisions come from a seeded
+  /// counter-based per-link stream: drop/keep for the k-th send on a link
+  /// is a pure function of (seed, from, to, k), so digests are invariant
+  /// under schedule order and no indirect call sits on the send path.
+  void set_loss(double probability, std::uint64_t seed);
+
+  /// Duplicate-delivery probability (fair-lossy channels also duplicate).
+  /// A duplicated message is delivered twice; the copy takes its own loss
+  /// draw and a deterministic extra delay in [1, 2 * default_delay], so
+  /// duplication doubles as reordering. Same seeded per-link stream
+  /// discipline as set_loss.
+  void set_duplication(double probability, std::uint64_t seed);
 
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return dropped_; }
+  /// Extra deliveries injected by set_duplication (copies that survived
+  /// their own loss draw).
+  [[nodiscard]] std::uint64_t messages_duplicated() const noexcept {
+    return duplicated_;
+  }
 
   /// Message counts per tag() — the message-complexity accounting used by
   /// the benches (the paper's Section 5 discusses the protocols' message
@@ -145,20 +161,53 @@ class Network {
   void reset_counters() noexcept {
     sent_ = 0;
     dropped_ = 0;
+    duplicated_ = 0;
     sent_by_tag_.clear();
   }
 
  private:
   void send_slow(ProcessId from, ProcessId to, MessagePtr msg);
 
+  /// Uniform [0, 1) draw for the k-th event on link (from, to) — a pure
+  /// hash of the stream seed and the link coordinates, nothing stateful.
+  [[nodiscard]] static double link_draw(std::uint64_t seed, ProcessId from,
+                                        ProcessId to, std::uint64_t k) noexcept {
+    return static_cast<double>(link_hash(seed, from, to, k) >> 11) * 0x1.0p-53;
+  }
+  [[nodiscard]] static std::uint64_t link_hash(std::uint64_t seed,
+                                               ProcessId from, ProcessId to,
+                                               std::uint64_t k) noexcept {
+    return RetryPolicy::mix(
+        RetryPolicy::mix(seed ^ (static_cast<std::uint64_t>(from) << 38) ^
+                         (static_cast<std::uint64_t>(to) << 19)) +
+        k);
+  }
+  /// Post-increments the send ordinal of link (from, to). The flat
+  /// kMaxProcesses^2 table is sized on first use and persists across
+  /// loss/duplication windows, so the ordinal sequence of a link never
+  /// restarts mid-run.
+  [[nodiscard]] std::uint32_t next_ordinal(ProcessId from, ProcessId to) {
+    if (link_ordinal_.empty()) {
+      link_ordinal_.assign(
+          ProcessSet::kMaxProcesses * ProcessSet::kMaxProcesses, 0);
+    }
+    return link_ordinal_[static_cast<std::size_t>(from) *
+                             ProcessSet::kMaxProcesses +
+                         to]++;
+  }
+
   Simulation& sim_;
   std::vector<std::pair<std::size_t, Rule>> rules_;  // newest first
   std::size_t next_rule_id_{0};
   SimTime default_delay_;
   double loss_probability_{0.0};
-  std::function<double()> loss_draw_;
+  std::uint64_t loss_seed_{0};
+  double dup_probability_{0.0};
+  std::uint64_t dup_seed_{0};
+  std::vector<std::uint32_t> link_ordinal_;  // per-link send counters
   std::uint64_t sent_{0};
   std::uint64_t dropped_{0};
+  std::uint64_t duplicated_{0};
   TagCounts sent_by_tag_;
 };
 

@@ -37,11 +37,12 @@ StorageCluster::StorageCluster(RefinedQuorumSystem rqs,
   for (ObjectId key = 0; key < cfg.key_count; ++key) {
     KeyClients& kc = keys_[key];
     kc.writer = std::make_unique<RqsWriter>(
-        sim_, writer_client_id(key, cfg.reader_count), rqs_, servers_, key);
+        sim_, writer_client_id(key, cfg.reader_count), rqs_, servers_, key,
+        /*rank=*/0, cfg.retry);
     for (std::size_t i = 0; i < cfg.reader_count; ++i) {
       kc.readers.push_back(std::make_unique<RqsReader>(
           sim_, reader_client_id(key, i, cfg.reader_count), rqs_, servers_,
-          RqsReader::Mode::kAtomic, key));
+          RqsReader::Mode::kAtomic, key, cfg.retry));
       kc.read_done.push_back(true);
       kc.read_value.push_back(kBottom);
       kc.read_invoked.push_back(0);

@@ -58,6 +58,10 @@ struct StorageClusterConfig {
   /// tracking/materialization stay on so both modes see identical
   /// messages.
   bool compact_history{true};
+  /// Retransmission policy for all writers and readers (disabled by
+  /// default — the send-once paper automata). The scenario runner enables
+  /// it whenever a spec schedules loss or duplication faults.
+  RetryPolicy::Config retry{};
 };
 
 class StorageCluster {

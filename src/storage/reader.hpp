@@ -25,6 +25,7 @@
 #include <set>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "core/rqs.hpp"
 #include "sim/process.hpp"
 #include "storage/messages.hpp"
@@ -42,8 +43,14 @@ class RqsReader final : public sim::Process {
   /// concurrent write's value, but new-old read inversions are possible.
   enum class Mode { kAtomic, kRegular };
 
+  /// `retry` (disabled by default) arms per-round retransmission of the
+  /// collect rd and writeback wr broadcasts to unacked servers; past
+  /// max_attempts the phase fails over (a fresh collect round / a fresh
+  /// writeback nonce — i.e. a fresh quorum attempt). Disabled, the reader
+  /// is byte-identical to the send-once Figure 7 automaton.
   RqsReader(sim::Simulation& sim, ProcessId id, const RefinedQuorumSystem& rqs,
-            ProcessSet servers, Mode mode = Mode::kAtomic, ObjectId key = 0);
+            ProcessSet servers, Mode mode = Mode::kAtomic, ObjectId key = 0,
+            RetryPolicy::Config retry = {});
 
   /// Starts a read(); `done` receives the returned value.
   void read(DoneFn done);
@@ -101,11 +108,14 @@ class RqsReader final : public sim::Process {
   void start_writeback(RoundNumber wb_round, const QuorumIdSet& set, Phase next_phase);
   void maybe_finish_writeback();
   void finish(Value v);
+  void arm_retry();
+  void handle_retry();
 
   const RefinedQuorumSystem& rqs_;
   ProcessSet servers_;
   Mode mode_;
   ObjectId key_;
+  RetryPolicy::Config retry_;
 
   DoneFn done_;
   Phase phase_{Phase::kIdle};
@@ -134,9 +144,17 @@ class RqsReader final : public sim::Process {
   ProcessSet wb_acks_;
   QuorumIdSet wb_target_;  // X = BCD(csel, 2, 1) for the line 46 check
 
+  QuorumIdSet wb_set_;     // qc2_set carried by the current writeback
+
   RoundNumber total_rounds_{0};
   RoundNumber last_rounds_{0};
   sim::SimTime read_started_{0};
+
+  // Retransmission state (dormant unless retry_.enabled).
+  sim::TimerId retry_timer_{0};
+  bool retry_armed_{false};
+  std::uint32_t attempt_{0};   // retransmissions of the current phase round
+  bool retried_op_{false};     // any retransmit during the current read
 };
 
 }  // namespace rqs::storage

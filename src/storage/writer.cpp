@@ -8,9 +8,14 @@ namespace rqs::storage {
 
 RqsWriter::RqsWriter(sim::Simulation& sim, ProcessId id,
                      const RefinedQuorumSystem& rqs, ProcessSet servers,
-                     ObjectId key, std::uint32_t rank)
+                     ObjectId key, std::uint32_t rank,
+                     RetryPolicy::Config retry)
     : sim::Process(sim, id), rqs_(rqs), servers_(servers), key_(key),
-      rank_(rank), ts_(0, rank) {}
+      rank_(rank), retry_(retry), ts_(0, rank) {
+  // Protocols pass delays in simulation ticks; default the backoff base
+  // to 4 * Delta (double the round-gate timeout) when unconfigured.
+  if (retry_.base_delay <= 0) retry_.base_delay = 4 * sim.delta();
+}
 
 void RqsWriter::write(Value v, DoneFn done) {
   assert(!busy() && "one outstanding operation per client");
@@ -20,6 +25,7 @@ void RqsWriter::write(Value v, DoneFn done) {
   done_ = std::move(done);
   qc2_prime_.clear();
   round_ = 1;
+  retried_op_ = false;
   write_started_ = now();
   start_round();
 }
@@ -47,6 +53,41 @@ void RqsWriter::start_round() {
   } else {
     timer_expired_ = true;
   }
+  if (retry_.enabled) {
+    attempt_ = 0;
+    arm_retry();
+  }
+}
+
+void RqsWriter::arm_retry() {
+  if (retry_armed_) cancel_timer(retry_timer_);
+  retry_armed_ = true;
+  retry_timer_ = set_timer(RetryPolicy::delay(
+      retry_, (static_cast<std::uint64_t>(id()) << 32) ^ op_, attempt_ + 1));
+}
+
+void RqsWriter::handle_retry() {
+  ++attempt_;
+  retried_op_ = true;
+  if (!RetryPolicy::allows(retry_, attempt_)) {
+    // Give-up -> failover: restart the round with a fresh nonce, which
+    // resets the ack set and courts a fresh quorum.
+    if (auto* ob = sim().observer()) ob->count("storage.write.failover");
+    start_round();
+    return;
+  }
+  if (auto* ob = sim().observer()) ob->count("storage.write.retransmit");
+  const ProcessSet pending = servers_ - acked_;
+  auto msg = make_msg<WrMsg>();
+  msg->key = key_;
+  msg->ts = ts_;
+  msg->value = value_;
+  msg->qc2_set = (round_ == 2) ? qc2_prime_ : QuorumIdSet{};
+  msg->rnd = round_;
+  msg->op = op_;  // same nonce: servers re-ack idempotently
+  msg->completed = completed_;
+  send_all(pending, std::move(msg));
+  arm_retry();
 }
 
 void RqsWriter::on_message(ProcessId from, const sim::Message& m) {
@@ -63,6 +104,11 @@ void RqsWriter::on_message(ProcessId from, const sim::Message& m) {
 }
 
 void RqsWriter::on_timer(sim::TimerId timer) {
+  if (retry_armed_ && timer == retry_timer_) {
+    retry_armed_ = false;
+    if (round_ != 0) handle_retry();
+    return;
+  }
   if (timer != timer_) return;
   timer_expired_ = true;
   maybe_finish_round();
@@ -132,11 +178,19 @@ void RqsWriter::complete() {
     ob->phase(now(), id(), obs::kPhaseWriteDone, key_,
               static_cast<std::uint64_t>(ts_.seq),
               static_cast<std::uint8_t>(round_));
+    if (retry_.enabled) {
+      ob->count(retried_op_ ? "storage.write.retried"
+                            : "storage.write.first_try");
+    }
   }
   last_rounds_ = round_;
   round_ = 0;
   completed_ = TsValue{ts_, value_};
   if (!timer_expired_) cancel_timer(timer_);
+  if (retry_armed_) {
+    cancel_timer(retry_timer_);
+    retry_armed_ = false;
+  }
   DoneFn done = std::move(done_);
   done_ = nullptr;
   if (done) done();
@@ -154,6 +208,7 @@ void RqsWriter::digest_state(Fnv64& h) const {
   digest_into(h, acked_);
   digest_into(h, qc2_prime_);
   h.mix(timer_expired_ ? 1 : 0);
+  h.mix(attempt_);
 }
 
 }  // namespace rqs::storage

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/retry.hpp"
 #include "core/rqs.hpp"
 #include "sim/process.hpp"
 #include "storage/messages.hpp"
@@ -33,8 +34,14 @@ class RqsWriter final : public sim::Process {
   /// `servers` are the processes forming the quorum system; RQS element i
   /// must be the process with id i. `key` selects the register; `rank` is
   /// the writer component of every timestamp this writer emits.
+  /// `retry` (disabled by default) arms per-round retransmission: unacked
+  /// servers are re-sent the same-nonce wr on a backoff schedule; past
+  /// max_attempts the round fails over to a fresh broadcast (new nonce,
+  /// fresh quorum attempt). Disabled, the writer is byte-identical to the
+  /// send-once Figure 5 automaton.
   RqsWriter(sim::Simulation& sim, ProcessId id, const RefinedQuorumSystem& rqs,
-            ProcessSet servers, ObjectId key = 0, std::uint32_t rank = 0);
+            ProcessSet servers, ObjectId key = 0, std::uint32_t rank = 0,
+            RetryPolicy::Config retry = {});
 
   /// Starts write(v); `done` fires at the response step. At most one
   /// operation may be outstanding (the paper's well-formedness).
@@ -57,11 +64,14 @@ class RqsWriter final : public sim::Process {
   void start_round();
   void maybe_finish_round();
   void complete();
+  void arm_retry();
+  void handle_retry();
 
   const RefinedQuorumSystem& rqs_;
   ProcessSet servers_;
   ObjectId key_;
   std::uint32_t rank_;
+  RetryPolicy::Config retry_;
 
   Timestamp ts_;
   Value value_{kBottom};
@@ -77,6 +87,12 @@ class RqsWriter final : public sim::Process {
   sim::TimerId timer_{0};
   RoundNumber last_rounds_{0};
   sim::SimTime write_started_{0};
+
+  // Retransmission state (dormant unless retry_.enabled).
+  sim::TimerId retry_timer_{0};
+  bool retry_armed_{false};
+  std::uint32_t attempt_{0};   // retransmissions of the current round
+  bool retried_op_{false};     // any retransmit during the current write
 };
 
 }  // namespace rqs::storage

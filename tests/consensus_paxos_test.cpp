@@ -107,6 +107,57 @@ TEST(PaxosTest, PreemptedProposerAdoptsAcceptedValue) {
   EXPECT_EQ(h.learner(0).learned_value(), 3);
 }
 
+// A rule stretching P2a delivery beyond the initial retry timeout. Under
+// the old fixed 8-Delta retry timer this livelocked: every round's phase 2
+// was preempted (by the proposer's own next ballot, or a rival's) before
+// the accepts could land, forever. The capped-exponential backoff must
+// grow past the phase-2 round trip and terminate.
+std::size_t delay_phase2(sim::Network& net, sim::SimTime by) {
+  return net.add_rule(
+      [by](ProcessId, ProcessId, sim::SimTime,
+           const sim::Message& m) -> std::optional<std::optional<sim::SimTime>> {
+        if (m.tag() != "P2A") return std::nullopt;  // rule not engaged
+        return std::optional<sim::SimTime>{by};
+      });
+}
+
+TEST(PaxosTest, BackoffOutgrowsSlowPhaseTwo) {
+  PaxosHarness h(5);
+  delay_phase2(h.sim().network(), 10 * sim::kDefaultDelta);
+  h.proposer(0).propose(7);
+  ASSERT_TRUE(h.run_until_learned(2000));
+  EXPECT_EQ(h.learner(0).learned_value(), 7);
+}
+
+TEST(PaxosTest, DuellingProposersTerminate) {
+  // Two proposers preempting each other across a slow phase 2: with the
+  // fixed timer both retried in lockstep at the same instants and neither
+  // ever got a full phase-1 + phase-2 window to itself. Per-process jitter
+  // plus backoff desynchronizes them.
+  PaxosHarness h(5, 2, 2);
+  delay_phase2(h.sim().network(), 10 * sim::kDefaultDelta);
+  h.proposer(0).propose(1);
+  h.proposer(1).propose(2);
+  ASSERT_TRUE(h.run_until_learned(4000));
+  const Value v = h.learner(0).learned_value();
+  EXPECT_TRUE(v == 1 || v == 2);
+  EXPECT_EQ(h.learner(1).learned_value(), v);
+}
+
+TEST(PaxosTest, RetryDelaysAreJitteredPerProcess) {
+  // The two proposer ids must draw distinct delay sequences from the same
+  // config — that asymmetry is what breaks lockstep duels.
+  RetryPolicy::Config cfg;
+  cfg.enabled = true;
+  cfg.base_delay = 8 * sim::kDefaultDelta;
+  bool differ = false;
+  for (std::uint32_t attempt = 1; attempt <= 4 && !differ; ++attempt) {
+    differ = RetryPolicy::delay(cfg, std::uint64_t{30} << 32, attempt) !=
+             RetryPolicy::delay(cfg, std::uint64_t{31} << 32, attempt);
+  }
+  EXPECT_TRUE(differ);
+}
+
 TEST(PaxosTest, RetriesAfterPartitionHeals) {
   PaxosHarness h(3);
   const std::size_t rule = h.sim().network().block(

@@ -1,0 +1,163 @@
+// Duplicate-delivery tolerance: every protocol message delivered twice
+// (the copy late, via Network::set_duplication(1.0)) must leave each
+// process in exactly the state single delivery produces. Receivers are
+// idempotent by construction — op-nonce dedup in storage, sender-set and
+// ballot dedup in consensus — and the retry layer stays DISABLED here, so
+// the resend recovery paths cannot mask a non-idempotent handler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/fnv.hpp"
+#include "consensus/crash_paxos.hpp"
+#include "consensus/harness.hpp"
+#include "core/constructions.hpp"
+#include "storage/abd.hpp"
+#include "storage/harness.hpp"
+
+namespace rqs {
+namespace {
+
+constexpr sim::SimTime kDelta = sim::kDefaultDelta;
+constexpr std::uint64_t kDupSeed = 0xd1d1;
+
+/// Per-process digests of a storage cluster at quiescence: writer, every
+/// reader, every server — WrMsg/WrAck/RdMsg/RdAck all covered.
+std::vector<std::uint64_t> storage_digests(bool duplicate) {
+  storage::StorageClusterConfig cfg;
+  cfg.reader_count = 2;
+  storage::StorageCluster c(make_fig1_fast5(), cfg);
+  if (duplicate) c.network().set_duplication(1.0, kDupSeed);
+  c.blocking_write(1);
+  c.blocking_read(0);
+  c.async_write(2);   // concurrent write/read traffic
+  c.async_read(1);
+  c.sim().run(c.sim().now() + 30 * kDelta);
+  c.crash(4);
+  c.blocking_write(3);  // quorum re-selection after the crash
+  c.blocking_read(1);
+  c.sim().run(c.sim().now() + 30 * kDelta);
+  std::vector<std::uint64_t> out;
+  const auto push = [&out](const sim::Process& p) {
+    Fnv64 h;
+    p.digest_state(h);
+    out.push_back(h.digest());
+  };
+  push(c.writer());
+  push(c.reader(0));
+  push(c.reader(1));
+  for (const ProcessId s : c.server_set()) push(c.server(s));
+  EXPECT_TRUE(c.checker().check().atomic);
+  return out;
+}
+
+TEST(DuplicationToleranceTest, StorageStateMatchesSingleDelivery) {
+  EXPECT_EQ(storage_digests(false), storage_digests(true));
+}
+
+/// Consensus fast path (view 0, two contending proposers): Prepare,
+/// Update, Sync, DecisionPull and Decision messages all delivered twice.
+std::vector<std::uint64_t> consensus_fastpath_digests(bool duplicate) {
+  consensus::ClusterConfig cfg;
+  cfg.proposer_count = 2;
+  cfg.learner_count = 2;
+  consensus::ConsensusCluster c(make_3t1_instantiation(1), cfg);
+  if (duplicate) c.network().set_duplication(1.0, kDupSeed);
+  c.propose(0, 11);
+  c.propose(1, 22);
+  EXPECT_TRUE(c.run_until_learned(3000));
+  c.sim().run(c.sim().now() + 50 * kDelta);
+  std::vector<std::uint64_t> out;
+  const auto push = [&out](const sim::Process& p) {
+    Fnv64 h;
+    p.digest_state(h);
+    out.push_back(h.digest());
+  };
+  for (ProcessId a = 0; a < c.rqs().universe_size(); ++a) push(c.acceptor(a));
+  push(c.proposer(0));
+  push(c.proposer(1));
+  push(c.learner(0));
+  push(c.learner(1));
+  return out;
+}
+
+TEST(DuplicationToleranceTest, ConsensusFastPathStateMatchesSingleDelivery) {
+  EXPECT_EQ(consensus_fastpath_digests(false), consensus_fastpath_digests(true));
+}
+
+/// Forced view change (partial prepare + leader crash): NewView,
+/// NewViewAck, SignReq, SignAck and ViewChange traffic also runs doubled.
+std::vector<std::uint64_t> consensus_viewchange_digests(bool duplicate) {
+  consensus::ClusterConfig cfg;
+  cfg.proposer_count = 2;
+  cfg.learner_count = 1;
+  consensus::ConsensusCluster c(make_3t1_instantiation(1), cfg);
+  if (duplicate) c.network().set_duplication(1.0, kDupSeed);
+  c.network().block(ProcessSet{consensus::kFirstProposerId}, ProcessSet{2, 3});
+  c.propose(0, 5);
+  c.propose(1, 6);
+  c.sim().schedule_at(2 * kDelta,
+                      [&c] { c.sim().crash(consensus::kFirstProposerId); });
+  EXPECT_TRUE(c.run_until_learned(3000));
+  c.sim().run(c.sim().now() + 50 * kDelta);
+  std::vector<std::uint64_t> out;
+  const auto push = [&out](const sim::Process& p) {
+    Fnv64 h;
+    p.digest_state(h);
+    out.push_back(h.digest());
+  };
+  for (ProcessId a = 0; a < c.rqs().universe_size(); ++a) push(c.acceptor(a));
+  push(c.proposer(1));  // p0 crashed mid-protocol
+  push(c.learner(0));
+  return out;
+}
+
+TEST(DuplicationToleranceTest, ViewChangeStateMatchesSingleDelivery) {
+  EXPECT_EQ(consensus_viewchange_digests(false),
+            consensus_viewchange_digests(true));
+}
+
+TEST(DuplicationToleranceTest, AbdRegisterToleratesDuplication) {
+  // The ABD baseline's quorum counting is set-based, so doubled
+  // AbdWrite/AbdRead/ack messages cannot double-count.
+  sim::Simulation sim;
+  sim.network().set_duplication(1.0, kDupSeed);
+  const std::size_t n = 3;
+  std::vector<std::unique_ptr<storage::AbdServer>> servers_obj;
+  for (ProcessId id = 0; id < n; ++id) {
+    servers_obj.push_back(std::make_unique<storage::AbdServer>(sim, id));
+  }
+  const ProcessSet servers = ProcessSet::universe(n);
+  storage::AbdWriter writer(sim, 40, servers);
+  storage::AbdReader reader(sim, 41, servers);
+  bool wrote = false;
+  writer.write(9, [&wrote] { wrote = true; });
+  sim.run(sim.now() + 50 * kDelta);
+  ASSERT_TRUE(wrote);
+  Value got = kBottom;
+  reader.read([&got](Value v) { got = v; });
+  sim.run(sim.now() + 50 * kDelta);
+  EXPECT_EQ(got, 9);
+}
+
+TEST(DuplicationToleranceTest, PaxosToleratesDuplication) {
+  sim::Simulation sim;
+  sim.network().set_duplication(1.0, kDupSeed);
+  const std::size_t n = 5;
+  const ProcessSet acceptors_set = ProcessSet::universe(n);
+  const ProcessSet learners_set{45};
+  std::vector<std::unique_ptr<consensus::PaxosAcceptor>> acceptors;
+  for (ProcessId id = 0; id < n; ++id) {
+    acceptors.push_back(
+        std::make_unique<consensus::PaxosAcceptor>(sim, id, learners_set));
+  }
+  consensus::PaxosProposer proposer(sim, 30, acceptors_set);
+  consensus::PaxosLearner learner(sim, 45, n);
+  proposer.propose(4);
+  sim.run(sim.now() + 100 * kDelta);
+  ASSERT_TRUE(learner.learned());
+  EXPECT_EQ(learner.learned_value(), 4);
+}
+
+}  // namespace
+}  // namespace rqs

@@ -1,0 +1,57 @@
+// Planted retry-timer violations: set_timer call sites that discard the
+// TimerId, or bind it to a member no on_timer body names (see
+// tools/rqs_lint/selftest.py). The clean shapes — assignment bind with a
+// handled member, the ctor-init bind learner.hpp uses, and an explicit
+// allow(timer) waiver — must NOT fire.
+// This file is a lint fixture only — it is never compiled or linked.
+#include <cstdint>
+
+namespace rqs::lint_fixture {
+
+using TimerId = std::uint64_t;
+
+TimerId set_timer(std::int64_t delay);
+
+// A retransmitting sender that arms three timers: one anonymously (the id
+// is lost, so on_timer can never match it), one into a member its handler
+// forgot, and one correctly.
+struct ForgetfulSender {
+  TimerId retry_timer_{0};
+  TimerId orphan_timer_{0};
+
+  void start() {
+    set_timer(4000);                  // EXPECT-LINT: retry-timer
+    orphan_timer_ = set_timer(8000);  // EXPECT-LINT: retry-timer
+    retry_timer_ = set_timer(2000);   // handled below: clean
+  }
+
+  void on_timer(TimerId timer) {
+    if (timer != retry_timer_) return;
+    retry_timer_ = set_timer(2000);  // re-arm inside the handler: clean
+  }
+};
+
+// The learner.hpp shape: the timer is armed in the constructor's
+// initializer list, and the handler re-arms it.
+struct CtorArmed {
+  CtorArmed() : pull_timer_(set_timer(1000)) {}
+
+  void on_timer(TimerId timer) {
+    if (timer == pull_timer_) pull_timer_ = set_timer(1000);
+  }
+
+  TimerId pull_timer_;
+};
+
+// A deliberate fire-and-forget wakeup, waived with a reason.
+struct WaivedWakeup {
+  void kick() {
+    set_timer(500);  // rqs-lint: allow(timer) one-shot wakeup; the handler keys on phase state, not the id
+  }
+
+  void on_timer(TimerId timer) { last_fired_ = timer; }
+
+  TimerId last_fired_{0};
+};
+
+}  // namespace rqs::lint_fixture

@@ -69,7 +69,7 @@ def main(argv: list[str]) -> int:
     # never be deleted (or renamed) without this test noticing.
     exercised = {rule for (_, _, rule) in expected}
     required = {"nondet", "unordered-iter", "hot-path-alloc", "typed-message",
-                "handler-totality"}
+                "handler-totality", "retry-timer"}
     for rule in sorted(required - exercised):
         print(f"UNCOVERED rule '{rule}' has no planted fixture violation")
 
